@@ -1,0 +1,46 @@
+"""Ablation: how much does PostOrderMinIO's child-ordering key matter?
+
+Theorem 3 says sorting children by decreasing ``A - w`` is optimal among
+postorders.  This bench replaces the key with plausible alternatives
+(Liu's MinMem key ``S - w``, the uncapped ``A``, lightest-residue,
+input order) and measures the I/O penalty.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.postorder import CHILD_ORDER_KEYS, postorder_with_child_key
+from repro.analysis.bounds import memory_bounds
+from repro.core.simulator import fif_io_volume
+
+
+def _run(trees):
+    totals = {key: 0 for key in CHILD_ORDER_KEYS}
+    checked = 0
+    for tree in trees:
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            continue
+        memory = bounds.mid
+        checked += 1
+        for key in CHILD_ORDER_KEYS:
+            res = postorder_with_child_key(tree, memory, key)
+            io = fif_io_volume(tree, res.schedule, memory)
+            assert io == res.predicted_io  # V recursion holds for any order
+            totals[key] += io
+    return totals, checked
+
+
+def test_child_order_key_ablation(benchmark, synth_trees, emit):
+    trees = synth_trees[: min(len(synth_trees), 40)]
+    totals, checked = benchmark.pedantic(_run, args=(trees,), rounds=1, iterations=1)
+
+    lines = [f"total postorder I/O over {checked} SYNTH instances (M = mid):"]
+    base = totals["A-w"]
+    for key, total in sorted(totals.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {key:<12} {total:10d}   ({total / base:5.2f}x of A-w)")
+    emit("ablation_children_order", "\n".join(lines))
+
+    # Theorem 3's key must be the best of the bunch.
+    assert base == min(totals.values())
+    # And the ordering genuinely matters: the worst key pays noticeably more.
+    assert max(totals.values()) > 1.05 * base

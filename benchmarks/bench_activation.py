@@ -1,0 +1,54 @@
+"""Bench: the activation-window makespan/I-O trade-off (parallel extension).
+
+Sweeps the window size of the activation scheduler on SYNTH instances
+with 4 processors, quantifying the knob a parallel out-of-core solver
+exposes: wider window => shorter makespan, more I/O.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import memory_bounds
+from repro.experiments.registry import get_algorithm
+from repro.parallel import window_sweep
+
+
+def _instances(trees, limit):
+    out = []
+    for tree in trees[:limit]:
+        bounds = memory_bounds(tree)
+        if bounds.has_io_regime:
+            out.append((tree, bounds.mid))
+    return out
+
+
+def test_window_tradeoff(benchmark, synth_trees, emit):
+    instances = _instances(synth_trees, 6)
+    processors = 4
+    windows = (1, 2, 4, 8, 16)
+
+    def run():
+        rows = []
+        for w in windows:
+            makespan = io = 0.0
+            for tree, memory in instances:
+                order = get_algorithm("RecExpand")(tree, memory).schedule
+                report = window_sweep(
+                    tree, memory, processors, order, windows=(w,)
+                )[w]
+                makespan += report.makespan
+                io += report.io_volume
+            rows.append((w, makespan, io))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{len(instances)} SYNTH instances, p={processors}, RecExpand orders",
+        f"{'window':>7} {'sum makespan':>13} {'sum I/O':>9}",
+    ]
+    for w, makespan, io in rows:
+        lines.append(f"{w:>7} {makespan:>13.1f} {io:>9.0f}")
+    emit("activation_window_tradeoff", "\n".join(lines))
+
+    # Window 1 serialises: it must have the largest makespan of the sweep.
+    makespans = [m for _, m, _ in rows]
+    assert makespans[0] >= max(makespans) - 1e-9

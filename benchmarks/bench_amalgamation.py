@@ -1,0 +1,55 @@
+"""Bench: the amalgamation trade-off on real elimination trees.
+
+Sweeps the absorb-below threshold on grid-Laplacian etrees and reports
+tree size, feasibility bound LB, in-core peak and RecExpand I/O at the
+original mid bound — the memory-for-granularity trade every multifrontal
+solver tunes (MUMPS' node-amalgamation control).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import memory_bounds
+from repro.datasets.amalgamation import amalgamate
+from repro.datasets.elimination import etree_task_tree
+from repro.datasets.matrices import grid_laplacian_2d, permute_symmetric
+from repro.datasets.nested_dissection import nested_dissection_ordering
+from repro.experiments.registry import get_algorithm
+
+
+def test_amalgamation_sweep(benchmark, emit):
+    matrix = grid_laplacian_2d(16, 16)
+    perm = nested_dissection_ordering(matrix)
+    base = etree_task_tree(permute_symmetric(matrix, perm))
+    base_bounds = memory_bounds(base)
+    memory = base_bounds.mid
+    thresholds = (0, 4, 16, 64, 128)
+
+    def run():
+        rows = []
+        for t in thresholds:
+            result = amalgamate(base, absorb_below=t)
+            bounds = memory_bounds(result.tree)
+            io = None
+            if memory >= bounds.lb:
+                io = get_algorithm("RecExpand")(result.tree, memory).io_volume
+            rows.append(
+                (t, result.tree.n, bounds.lb, bounds.peak_incore, io)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"16x16 grid etree, nested dissection ({base.n} fronts), "
+        f"M = {memory} (base mid bound)",
+        f"{'absorb<':>8} {'nodes':>7} {'LB':>7} {'peak':>7} {'RecExpand io':>13}",
+    ]
+    for t, n, lb, peak, io in rows:
+        io_s = "infeasible" if io is None else str(io)
+        lines.append(f"{t:>8} {n:>7} {lb:>7} {peak:>7} {io_s:>13}")
+    emit("amalgamation_sweep", "\n".join(lines))
+
+    # Coarsening monotonically shrinks the tree and can only raise LB.
+    sizes = [n for _, n, _, _, _ in rows]
+    lbs = [lb for _, _, lb, _, _ in rows]
+    assert sizes == sorted(sizes, reverse=True)
+    assert lbs == sorted(lbs)

@@ -1,0 +1,69 @@
+"""Benches for the exact solver: optimality gaps and search cost.
+
+The paper cannot report distances to the optimum (complexity open, no
+solver); with the branch-and-bound oracle we can, on small instances.
+This bench measures (a) how often each polynomial heuristic is exactly
+optimal, (b) the search cost of proving it.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.exact import exact_min_io
+from repro.analysis.bounds import memory_bounds
+from repro.datasets.synth import synth_instance
+from repro.experiments.registry import PAPER_ALGORITHMS, get_algorithm
+
+
+def _small_instances(n_nodes: int, count: int):
+    out = []
+    seed = 0
+    while len(out) < count and seed < 500:
+        seed += 1
+        tree = synth_instance(n_nodes, seed=seed)
+        bounds = memory_bounds(tree)
+        if bounds.has_io_regime:
+            out.append((tree, bounds.mid))
+    return out
+
+
+def test_optimality_gaps_vs_exact(benchmark, emit):
+    instances = _small_instances(12, 30)
+
+    def run():
+        optimal = dict.fromkeys(PAPER_ALGORITHMS, 0)
+        worst = dict.fromkeys(PAPER_ALGORITHMS, 0.0)
+        states = 0
+        for tree, memory in instances:
+            exact = exact_min_io(tree, memory, max_states=500_000)
+            states += exact.states_expanded
+            for name in PAPER_ALGORITHMS:
+                io = get_algorithm(name)(tree, memory).io_volume
+                gap = (memory + io) / (memory + exact.io_volume) - 1.0
+                if io == exact.io_volume:
+                    optimal[name] += 1
+                worst[name] = max(worst[name], gap)
+        return optimal, worst, states
+
+    optimal, worst, states = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{len(instances)} random 12-node instances, exact optimum as reference",
+        f"({states} branch-and-bound states expanded in total)",
+        f"{'strategy':<16} {'optimal':>9} {'worst gap':>10}",
+    ]
+    for name in PAPER_ALGORITHMS:
+        lines.append(
+            f"{name:<16} {optimal[name]:>5}/{len(instances)} {worst[name]:>10.2%}"
+        )
+    emit("exact_optimality_gaps", "\n".join(lines))
+
+    # Sanity: nobody can beat the optimum; the tree-aware heuristics are
+    # optimal on a large majority of tiny instances.
+    assert all(v <= len(instances) for v in optimal.values())
+    assert optimal["RecExpand"] >= optimal["PostOrderMinIO"]
+
+
+def test_exact_solver_cost(benchmark):
+    """Time the solver on one representative 14-node instance."""
+    (tree, memory), *_ = _small_instances(14, 1)
+    result = benchmark(lambda: exact_min_io(tree, memory, max_states=500_000))
+    assert result.optimal

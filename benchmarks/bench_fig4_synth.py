@@ -1,0 +1,68 @@
+"""Figure 4: performance profiles on SYNTH at the mid memory bound.
+
+Paper's observations (Section 6.2) that must hold in shape:
+
+* PostOrderMinIO is far behind — ≥50 % overhead on most instances;
+* RecExpand is never (materially) outperformed by OptMinMem;
+* FullRecExpand is only marginally better than RecExpand.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_comparison
+
+from .conftest import figure_report
+
+
+def _figure4(synth_trees):
+    return run_comparison(
+        "figure4-synth-Mmid",
+        synth_trees,
+        "Mmid",
+        ("OptMinMem", "RecExpand", "PostOrderMinIO", "FullRecExpand"),
+    )
+
+
+def test_fig4_synth_mid_profile(benchmark, synth_trees, emit):
+    result = benchmark.pedantic(_figure4, args=(synth_trees,), rounds=1, iterations=1)
+    emit("fig4_synth_Mmid", figure_report(result))
+
+    prof = result.profile
+    n = result.num_instances
+    assert n >= 10
+
+    # PostOrderMinIO: the majority of instances are >50% above the best.
+    assert prof.curve("PostOrderMinIO").fraction_at(0.50) < 0.5
+
+    # RecExpand at threshold 0 dominates OptMinMem's curve.
+    assert prof.curve("RecExpand").fraction_at(0.0) >= prof.curve(
+        "OptMinMem"
+    ).fraction_at(0.0)
+
+    # RecExpand is (almost) never outperformed: within 2% of best everywhere.
+    assert prof.curve("RecExpand").fraction_at(0.02) > 0.9
+
+    # FullRecExpand ~ RecExpand: gap below 2% on ≥95% of instances.
+    perfs = prof.performances
+    close = sum(
+        1
+        for a, b in zip(perfs["RecExpand"], perfs["FullRecExpand"])
+        if a <= b * 1.02
+    )
+    assert close / n >= 0.9
+
+
+def test_fig4_recexpand_beats_optminmem_often(benchmark, synth_trees, emit):
+    """The strict-win statistic the paper quotes (90% on its dataset)."""
+    result = benchmark.pedantic(_figure4, args=(synth_trees,), rounds=1, iterations=1)
+    io = result.io_volumes
+    wins = sum(1 for o, r in zip(io["OptMinMem"], io["RecExpand"]) if r < o)
+    ties = sum(1 for o, r in zip(io["OptMinMem"], io["RecExpand"]) if r == o)
+    losses = result.num_instances - wins - ties
+    emit(
+        "fig4_strict_wins",
+        f"RecExpand vs OptMinMem on SYNTH/Mmid: "
+        f"wins={wins} ties={ties} losses={losses} of {result.num_instances}",
+    )
+    assert wins > losses
+    assert (wins + ties) / result.num_instances >= 0.9

@@ -1,0 +1,64 @@
+"""Bench: whole-regime I/O curves (area, knees, monotonicity).
+
+The paper samples three memory points; this bench sweeps entire
+``[LB, Peak]`` regimes on SYNTH instances and reports the curve-level
+statistics a memory-provisioning decision needs: normalised area per
+strategy, where the knees sit, and whether adaptive strategies ever
+regress with more memory (OptMinMem provably cannot).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import memory_bounds
+from repro.analysis.regime import io_curve
+
+ALGORITHMS = ("OptMinMem", "PostOrderMinIO", "RecExpand")
+
+
+def _instances(trees, limit, min_width=10):
+    out = []
+    for tree in trees[:limit]:
+        bounds = memory_bounds(tree)
+        if bounds.peak_incore - bounds.lb >= min_width:
+            out.append(tree)
+    return out
+
+
+def test_regime_curves(benchmark, synth_trees, emit):
+    instances = _instances(synth_trees, 12)
+
+    def run():
+        areas = dict.fromkeys(ALGORITHMS, 0.0)
+        violations = dict.fromkeys(ALGORITHMS, 0)
+        knee_positions = []
+        for tree in instances:
+            bounds = memory_bounds(tree)
+            for alg in ALGORITHMS:
+                curve = io_curve(tree, alg, samples=10)
+                areas[alg] += curve.area()
+                violations[alg] += len(curve.monotone_violations())
+                if alg == "RecExpand":
+                    span = bounds.peak_incore - bounds.lb
+                    knee_positions.append(
+                        (curve.knee() - bounds.lb) / span if span else 0.0
+                    )
+        return areas, violations, knee_positions
+
+    areas, violations, knees = benchmark.pedantic(run, rounds=1, iterations=1)
+    n = len(instances)
+    lines = [
+        f"{n} wide-regime SYNTH instances, 10-point sweeps of [LB, Peak]",
+        f"{'strategy':<16} {'mean area':>10} {'monotone violations':>20}",
+    ]
+    for alg in ALGORITHMS:
+        lines.append(f"{alg:<16} {areas[alg] / n:>10.4f} {violations[alg]:>20}")
+    lines.append(
+        f"RecExpand knee position (fraction of regime, mean): "
+        f"{sum(knees) / len(knees):.2f}"
+    )
+    emit("regime_curves", "\n".join(lines))
+
+    # OptMinMem's fixed schedule makes its curve provably monotone.
+    assert violations["OptMinMem"] == 0
+    # Area ranking must match the paper's ordering.
+    assert areas["RecExpand"] <= areas["OptMinMem"] <= areas["PostOrderMinIO"]

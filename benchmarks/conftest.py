@@ -1,0 +1,71 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or an ablation)
+and does three things:
+
+1. times the headline computation with ``pytest-benchmark``;
+2. writes the regenerated series (summary + ASCII profile + CSV) to
+   ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote them;
+3. asserts the *qualitative shape* the paper reports (who wins, roughly
+   by how much) — not absolute numbers, which depend on tie-breaking and
+   dataset substitution.
+
+Scale defaults to ``small`` (fast); set ``REPRO_SCALE=paper`` to rerun at
+the paper's instance counts and sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.profiles import render_ascii, to_csv
+from repro.experiments.datasets import SCALES, build_synth, build_trees
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_configure(config):
+    OUT_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALES[os.environ.get("REPRO_SCALE", "small")]
+
+
+@pytest.fixture(scope="session")
+def synth_trees(scale):
+    return build_synth(scale)
+
+
+@pytest.fixture(scope="session")
+def trees_dataset(scale):
+    return build_trees(scale)
+
+
+@pytest.fixture
+def emit():
+    """Write a named report file under benchmarks/out/ (and echo it)."""
+
+    def _emit(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}]\n{text}")
+
+    return _emit
+
+
+def figure_report(result, max_threshold=None) -> str:
+    """Summary + ASCII profile + CSV for one FigureResult."""
+    parts = [
+        result.summary(),
+        "",
+        render_ascii(result.profile, max_threshold=max_threshold),
+        "",
+        "CSV:",
+        to_csv(result.profile),
+    ]
+    return "\n".join(parts)

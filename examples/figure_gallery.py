@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Render the paper's evaluation figures (and two extras) as SVG files.
+
+Regenerates every performance-profile figure at the chosen scale and
+writes browsable SVGs to ``figures/``, plus a memory-timeline chart of
+the Figure 2(b) counterexample and an I/O-versus-memory sweep — the two
+diagnostic plots the paper describes in prose.
+
+Run:  python examples/figure_gallery.py [tiny|small|paper]
+"""
+
+import pathlib
+import sys
+
+from repro.core.tree import TaskTree
+from repro.datasets.instances import figure_2b
+from repro.experiments.figures import FIGURES
+from repro.experiments.registry import get_algorithm
+from repro.viz import io_sweep_chart, memory_timeline_chart, profile_chart, tree_chart
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    outdir = pathlib.Path("figures")
+    outdir.mkdir(exist_ok=True)
+
+    for fid, builder in sorted(FIGURES.items()):
+        result = builder(scale)
+        path = outdir / f"{fid}_{scale}.svg"
+        path.write_text(profile_chart(result.profile, title=result.name))
+        print(f"wrote {path}  ({result.num_instances} instances)")
+
+    # Figure 2(b): the witness schedule vs the minimum-peak schedule.
+    inst = figure_2b()
+    tree: TaskTree = inst.tree
+    liu = get_algorithm("OptMinMem")(inst.tree, inst.memory)
+    chart = memory_timeline_chart(
+        tree,
+        {"paper witness": inst.witness_schedule, "OptMinMem": liu.schedule},
+        memory=inst.memory,
+        title="Figure 2(b): chain-after-chain beats the minimum peak",
+    )
+    (outdir / "fig2b_timeline.svg").write_text(chart)
+    print("wrote figures/fig2b_timeline.svg")
+
+    (outdir / "fig2b_tree.svg").write_text(
+        tree_chart(tree, schedule=inst.witness_schedule, title="Figure 2(b)")
+    )
+    print("wrote figures/fig2b_tree.svg")
+
+    # I/O vs memory across the whole regime of one tree.
+    from repro.analysis.bounds import memory_bounds
+    from repro.datasets.synth import synth_instance
+
+    for seed in range(1, 60):
+        sweep_tree = synth_instance(80, seed=seed)
+        bounds = memory_bounds(sweep_tree)
+        if bounds.peak_incore - bounds.lb >= 12:
+            break
+    memories = list(range(bounds.lb, bounds.peak_incore + 1))
+    algorithms = ("OptMinMem", "PostOrderMinIO", "RecExpand")
+    io = {
+        name: [get_algorithm(name)(sweep_tree, m).io_volume for m in memories]
+        for name in algorithms
+    }
+    (outdir / "io_sweep.svg").write_text(
+        io_sweep_chart(
+            sweep_tree,
+            io,
+            memories,
+            title=f"I/O vs memory (random {sweep_tree.n}-node tree)",
+        )
+    )
+    print("wrote figures/io_sweep.svg")
+
+
+if __name__ == "__main__":
+    main()

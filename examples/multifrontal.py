@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Out-of-core multifrontal factorisation, end to end.
+
+The paper's motivating application: sparse Cholesky by the multifrontal
+method, where the elimination tree is the task tree and contribution
+blocks are the data flowing to parents.  This example runs the whole
+pipeline on a 2-D grid problem:
+
+    matrix -> fill-reducing ordering -> elimination tree -> supernodes
+           -> contribution-block weights -> out-of-core schedule
+
+and shows how the choice of ordering (and the resulting tree shape)
+changes the I/O bill at a fixed memory budget.
+
+Run:  python examples/multifrontal.py
+"""
+
+import numpy as np
+
+from repro.analysis.bounds import memory_bounds
+from repro.core.traversal import validate
+from repro.datasets.elimination import (
+    elimination_tree,
+    factor_column_counts,
+    supernodal_task_tree,
+)
+from repro.datasets.matrices import ORDERINGS, grid_laplacian_2d, permute_symmetric
+from repro.experiments.registry import get_algorithm
+
+
+def main() -> None:
+    side = 20
+    matrix = grid_laplacian_2d(side, side)
+    print(f"problem: {side}x{side} grid Laplacian, n={matrix.shape[0]}, "
+          f"nnz={matrix.nnz}")
+
+    rng = np.random.default_rng(42)
+    print(
+        f"\n{'ordering':<10} {'fill nnz(L)':>12} {'tree n':>7} {'depth':>6} "
+        f"{'LB':>8} {'peak':>8} | {'PO-MinIO':>9} {'OptMinMem':>9} {'RecExpand':>9}"
+    )
+
+    for name in ("natural", "rcm", "mindeg", "random"):
+        perm = ORDERINGS[name](matrix, rng)
+        permuted = permute_symmetric(matrix, perm)
+
+        # Symbolic analysis (all from scratch, see repro.datasets.elimination).
+        parent = elimination_tree(permuted)
+        counts = factor_column_counts(permuted, parent)
+        fill = int(counts.sum())
+
+        tree = supernodal_task_tree(permuted)
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            print(f"{name:<10} {fill:>12} {tree.n:>7} {tree.depth():>6} "
+                  f"{bounds.lb:>8} {bounds.peak_incore:>8} |   "
+                  "(chain-like tree: LB memory already suffices)")
+            continue
+
+        # The tight bound M1 = LB: the regime where strategies differ most.
+        memory = bounds.m1
+        io = {}
+        for alg in ("PostOrderMinIO", "OptMinMem", "RecExpand"):
+            traversal = get_algorithm(alg)(tree, memory)
+            validate(tree, traversal, memory)
+            io[alg] = traversal.io_volume
+        print(
+            f"{name:<10} {fill:>12} {tree.n:>7} {tree.depth():>6} "
+            f"{bounds.lb:>8} {bounds.peak_incore:>8} | "
+            f"{io['PostOrderMinIO']:>9} {io['OptMinMem']:>9} {io['RecExpand']:>9}"
+        )
+
+    print(
+        "\nReading the table: band-preserving orderings (natural, RCM) give"
+        "\nchain-shaped elimination trees — nothing to schedule, LB memory is"
+        "\nenough.  Fill-reducing orderings (mindeg) give bushy trees whose"
+        "\nfronts overlap in memory, and I/O appears.  On real elimination"
+        "\ntrees the three strategies usually agree (the paper's Figure 5:"
+        "\n>90% ties); the synthetic SYNTH study in"
+        "\nexamples/perf_profile_study.py is where they separate."
+    )
+
+
+if __name__ == "__main__":
+    main()

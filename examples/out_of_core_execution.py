@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Why minimise I/O volume: time-to-solution under a disk model.
+
+The paper's metric is the I/O *volume*; this example converts volumes to
+wall-clock time with the timed execution engine (one compute unit, one
+disk, blocking or overlapped writes) and sweeps the memory budget — the
+classic "time vs memory" curve of an out-of-core solver, with one line
+per scheduling strategy.
+
+Run:  python examples/out_of_core_execution.py
+"""
+
+from repro.analysis.bounds import memory_bounds
+from repro.core.execution import MachineModel, execute_traversal
+from repro.datasets.synth import synth_instance
+from repro.experiments.registry import get_algorithm
+
+
+def main() -> None:
+    # A SYNTH-style tree with a wide I/O regime.
+    tree = None
+    for seed in range(200):
+        candidate = synth_instance(800, seed=seed)
+        bounds = memory_bounds(candidate)
+        if bounds.peak_incore >= 1.2 * bounds.lb:
+            tree, chosen = candidate, bounds
+            break
+    assert tree is not None
+    print(
+        f"tree: n={tree.n}, LB={chosen.lb}, in-core peak={chosen.peak_incore} "
+        f"(regime width {chosen.m2 - chosen.m1})"
+    )
+
+    machine = MachineModel(bandwidth=50.0, latency=0.002, discipline="blocking")
+    strategies = ("PostOrderMinIO", "OptMinMem", "RecExpand")
+
+    # Memory sweep from the feasibility bound up to the in-core peak.
+    points = 6
+    memories = [
+        chosen.lb + round(i * (chosen.peak_incore - chosen.lb) / (points - 1))
+        for i in range(points)
+    ]
+
+    print(f"\n{'M':>8} | " + " | ".join(f"{s:>22}" for s in strategies))
+    print(f"{'':>8} | " + " | ".join(f"{'io':>8} {'time':>9} {'util':>4}" for _ in strategies))
+    for memory in memories:
+        cells = []
+        for name in strategies:
+            traversal = get_algorithm(name)(tree, memory)
+            report = execute_traversal(tree, traversal, machine)
+            cells.append(
+                f"{traversal.io_volume:>8} {report.makespan:>8.2f}s "
+                f"{report.compute_utilisation:>4.0%}"
+            )
+        print(f"{memory:>8} | " + " | ".join(cells))
+
+    # The same bottom row, with overlapped writes.
+    memory = memories[0]
+    print(f"\nat M = {memory} (tightest), overlapping writes with compute:")
+    for name in strategies:
+        traversal = get_algorithm(name)(tree, memory)
+        for discipline in ("blocking", "overlapped"):
+            m = MachineModel(
+                bandwidth=50.0, latency=0.002, discipline=discipline
+            )
+            report = execute_traversal(tree, traversal, m)
+            print(
+                f"  {name:<16} {discipline:<10} makespan {report.makespan:8.2f}s  "
+                f"(stalled {report.stall_time:6.2f}s on I/O)"
+            )
+
+    print(
+        "\nAt ample memory every strategy is pure compute; as M tightens the"
+        "\nbad scheduler's extra writes turn directly into stall time — the"
+        "\nmotivation for the paper in seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

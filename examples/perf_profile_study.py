@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's Section 6 study, in one self-contained run.
+
+Generates a SYNTH-style dataset, runs the strategies at all three memory
+bounds (M1 = LB, M-mid, M2 = Peak-1) and renders Dolan–Moré performance
+profiles as ASCII — the same plots as the paper's Figures 4, 8 and 10,
+at a size that finishes in seconds.
+
+Run:  python examples/perf_profile_study.py [num_trees] [nodes]
+"""
+
+import sys
+
+from repro.analysis.profiles import render_ascii
+from repro.datasets.synth import synth_dataset
+from repro.experiments.figures import run_comparison
+
+
+def main() -> None:
+    num_trees = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    nodes = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+
+    print(f"dataset: {num_trees} uniform random binary trees, {nodes} nodes, "
+          f"weights U[1,100]")
+    trees = synth_dataset(num_trees, nodes, seed=1)
+
+    algorithms = ("OptMinMem", "RecExpand", "PostOrderMinIO", "FullRecExpand")
+    for bound, paper_figure in (("M1", "Fig 8"), ("Mmid", "Fig 4"), ("M2", "Fig 10")):
+        result = run_comparison(f"study-{bound}", trees, bound, algorithms)
+        print(f"\n--- memory bound {bound}  (the paper's {paper_figure}) ---")
+        print(result.summary())
+        # Zoom differently per regime: M2 differences are tiny.
+        max_t = {"M1": 0.6, "Mmid": 1.0, "M2": 0.02}[bound]
+        print(render_ascii(result.profile, max_threshold=max_t, height=12))
+
+
+if __name__ == "__main__":
+    main()

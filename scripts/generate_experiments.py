@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Regenerate every paper experiment and store the report under results/.
+
+Usage::
+
+    python scripts/generate_experiments.py --scale small
+    python scripts/generate_experiments.py --scale paper --figures fig5 fig9
+
+The JSON report is the source of the numbers quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.runner import (
+    ExperimentReport,
+    report_to_text,
+    run_counterexamples,
+    run_figures,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    parser.add_argument("--figures", nargs="*", default=None,
+                        help="subset of figure ids (default: all)")
+    parser.add_argument("--outdir", default="results")
+    args = parser.parse_args(argv)
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    def progress(msg: str) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
+
+    report = ExperimentReport(scale=args.scale, started_at=time.time())
+    t0 = time.perf_counter()
+    progress("running counterexamples ...")
+    report.counterexamples = run_counterexamples()
+    progress("running figures ...")
+    report.figures = run_figures(args.scale, figure_ids=args.figures, progress=progress)
+    report.elapsed_seconds = time.perf_counter() - t0
+
+    stem = f"experiments_{args.scale}"
+    if args.figures:
+        stem += "_" + "-".join(args.figures)
+    json_path = outdir / f"{stem}.json"
+    txt_path = outdir / f"{stem}.txt"
+    json_path.write_text(report.to_json())
+    txt_path.write_text(report_to_text(report) + "\n")
+    progress(f"wrote {json_path} and {txt_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

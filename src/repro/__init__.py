@@ -1,0 +1,112 @@
+"""Out-of-core task-tree scheduling: minimising I/O volume.
+
+A complete reproduction of
+
+    Loris Marchal, Samuel McCauley, Bertrand Simon, Frédéric Vivien.
+    *Minimizing I/Os in Out-of-Core Task Tree Scheduling.*
+    INRIA Research Report RR-9025 / hal-01462213, 2017.
+
+Quick start::
+
+    from repro import TaskTree, rec_expand, memory_bounds
+
+    tree = TaskTree(parents=[-1, 0, 0, 1, 1], weights=[2, 3, 4, 5, 6])
+    memory = memory_bounds(tree).mid
+    result = rec_expand(tree, memory)
+    print(result.io_volume, result.traversal.schedule)
+
+Package map
+-----------
+``repro.core``        tree structure, traversals, FiF simulator, expansion
+``repro.algorithms``  OptMinMem (Liu), best postorders, RecExpand, exact
+                      branch-and-bound, brute-force oracles
+``repro.datasets``    SYNTH generator, sparse-matrix/elimination-tree
+                      pipeline (incl. nested dissection), paper instances
+``repro.analysis``    memory bounds, I/O lower bounds, performance metric,
+                      Dolan–Moré profiles, bootstrap/permutation statistics
+``repro.io``          page-granular paging substrate + disk timing model
+``repro.parallel``    parallel out-of-core engine, activation windows
+``repro.viz``         SVG/ASCII rendering of profiles, timelines and trees
+``repro.experiments`` dataset assembly, figure regeneration, full reports
+"""
+
+from .algorithms.brute_force import min_io_brute, min_peak_brute
+from .algorithms.exact import ExactResult, exact_min_io, optimality_gap
+from .algorithms.homogeneous import homogeneous_labels, optimal_io
+from .algorithms.liu import LiuSolver, min_peak_memory, opt_min_mem
+from .algorithms.local_search import LocalSearchResult, local_search
+from .algorithms.postorder import postorder_min_io, postorder_min_mem
+from .algorithms.rec_expand import RecExpandResult, full_rec_expand, rec_expand
+from .analysis.bounds import MemoryBounds, memory_bounds
+from .analysis.io_bounds import io_lower_bound, peak_io_lower_bound
+from .analysis.metrics import performance
+from .analysis.profiles import PerformanceProfile, build_profile, render_ascii
+from .analysis.regime import IOCurve, io_curve
+from .core.trace import TraceEvent, replay, traversal_trace
+from .core.expansion import ExpansionTree, expand_tree
+from .core.simulator import (
+    InfeasibleSchedule,
+    SimulationResult,
+    fif_io_volume,
+    fif_traversal,
+    schedule_peak_memory,
+    simulate_fif,
+)
+from .core.traversal import InvalidTraversal, Traversal, is_postorder, validate
+from .core.tree import TaskTree, TreeError, balanced_binary_tree, chain_tree, star_tree
+from .io import PageMap, paged_io
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "TaskTree",
+    "TreeError",
+    "chain_tree",
+    "star_tree",
+    "balanced_binary_tree",
+    "Traversal",
+    "InvalidTraversal",
+    "validate",
+    "is_postorder",
+    "simulate_fif",
+    "fif_io_volume",
+    "fif_traversal",
+    "schedule_peak_memory",
+    "SimulationResult",
+    "InfeasibleSchedule",
+    "ExpansionTree",
+    "expand_tree",
+    "LiuSolver",
+    "opt_min_mem",
+    "min_peak_memory",
+    "postorder_min_io",
+    "postorder_min_mem",
+    "rec_expand",
+    "full_rec_expand",
+    "RecExpandResult",
+    "homogeneous_labels",
+    "optimal_io",
+    "min_io_brute",
+    "min_peak_brute",
+    "ExactResult",
+    "exact_min_io",
+    "optimality_gap",
+    "MemoryBounds",
+    "memory_bounds",
+    "io_lower_bound",
+    "peak_io_lower_bound",
+    "performance",
+    "build_profile",
+    "render_ascii",
+    "PerformanceProfile",
+    "PageMap",
+    "paged_io",
+    "LocalSearchResult",
+    "local_search",
+    "IOCurve",
+    "io_curve",
+    "TraceEvent",
+    "replay",
+    "traversal_trace",
+    "__version__",
+]

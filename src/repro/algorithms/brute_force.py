@@ -1,0 +1,171 @@
+"""Exhaustive oracles for small instances.
+
+The MinIO problem's complexity is open (Section 4.5), so the test suite
+pins every heuristic against ground truth computed by brute force on small
+trees:
+
+* :func:`min_io_brute` — optimum over *all* topological orders (the I/O
+  function of each order is itself optimal by Theorem 1 / FiF);
+* :func:`min_peak_brute` — MinMem optimum over all topological orders
+  (validates Liu's algorithm);
+* :func:`min_io_postorder_brute` / :func:`min_peak_postorder_brute` —
+  optima over all postorders (validate the best-postorder algorithms).
+
+All enumerations raise :class:`SearchBudgetExceeded` beyond ``max_orders``
+schedules, so a mis-sized test fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..core.simulator import schedule_peak_memory, simulate_fif
+from ..core.tree import TaskTree
+
+__all__ = [
+    "SearchBudgetExceeded",
+    "iter_topological_orders",
+    "iter_postorders",
+    "min_io_brute",
+    "min_peak_brute",
+    "min_io_postorder_brute",
+    "min_peak_postorder_brute",
+]
+
+_DEFAULT_BUDGET = 500_000
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The instance has more schedules than the enumeration budget."""
+
+
+def iter_topological_orders(tree: TaskTree) -> Iterator[list[int]]:
+    """Yield every topological order (children before parents) of the tree.
+
+    Backtracking over the "available" frontier: a node becomes available
+    once all its children are scheduled.
+    """
+    n = tree.n
+    remaining_children = [len(c) for c in tree.children]
+    available = [v for v in range(n) if remaining_children[v] == 0]
+    prefix: list[int] = []
+
+    def backtrack() -> Iterator[list[int]]:
+        if len(prefix) == n:
+            yield list(prefix)
+            return
+        # Iterate over a snapshot: `available` mutates during recursion.
+        for i in range(len(available)):
+            v = available[i]
+            available[i] = available[-1]
+            available.pop()
+            prefix.append(v)
+            p = tree.parents[v]
+            activated = False
+            if p != -1:
+                remaining_children[p] -= 1
+                if remaining_children[p] == 0:
+                    available.append(p)
+                    activated = True
+            yield from backtrack()
+            if activated:
+                available.pop()
+            if p != -1:
+                remaining_children[p] += 1
+            prefix.pop()
+            available.append(v)
+            available[i], available[-1] = available[-1], available[i]
+
+    yield from backtrack()
+
+
+def iter_postorders(tree: TaskTree) -> Iterator[list[int]]:
+    """Yield every postorder of the tree (all children permutations)."""
+    from itertools import permutations
+
+    # Recursively combine child subtree postorders in every order.
+    def orders(v: int) -> Iterator[list[int]]:
+        kids = tree.children[v]
+        if not kids:
+            yield [v]
+            return
+        child_lists = [list(orders(c)) for c in kids]
+        for perm in permutations(range(len(kids))):
+            stack: list[list[int]] = [[]]
+            for idx in perm:
+                stack = [acc + sub for acc in stack for sub in child_lists[idx]]
+            for acc in stack:
+                yield acc + [v]
+
+    yield from orders(tree.root)
+
+
+def _best_over(
+    tree: TaskTree,
+    orders: Iterator[list[int]],
+    evaluate,
+    max_orders: int,
+) -> tuple[int, list[int]]:
+    best_value: int | None = None
+    best_schedule: list[int] | None = None
+    count = 0
+    for schedule in orders:
+        count += 1
+        if count > max_orders:
+            raise SearchBudgetExceeded(
+                f"more than {max_orders} schedules; raise max_orders explicitly"
+            )
+        value = evaluate(schedule)
+        if best_value is None or value < best_value:
+            best_value = value
+            best_schedule = schedule
+    assert best_value is not None and best_schedule is not None
+    return best_value, best_schedule
+
+
+def min_io_brute(
+    tree: TaskTree, memory: int, *, max_orders: int = _DEFAULT_BUDGET
+) -> tuple[int, list[int]]:
+    """Exact MinIO optimum ``(io, schedule)`` over all topological orders."""
+    return _best_over(
+        tree,
+        iter_topological_orders(tree),
+        lambda s: simulate_fif(tree, s, memory).io_volume,
+        max_orders,
+    )
+
+
+def min_peak_brute(
+    tree: TaskTree, *, max_orders: int = _DEFAULT_BUDGET
+) -> tuple[int, list[int]]:
+    """Exact MinMem optimum ``(peak, schedule)`` over all topological orders."""
+    return _best_over(
+        tree,
+        iter_topological_orders(tree),
+        lambda s: schedule_peak_memory(tree, s),
+        max_orders,
+    )
+
+
+def min_io_postorder_brute(
+    tree: TaskTree, memory: int, *, max_orders: int = _DEFAULT_BUDGET
+) -> tuple[int, list[int]]:
+    """Exact MinIO optimum restricted to postorders."""
+    return _best_over(
+        tree,
+        iter_postorders(tree),
+        lambda s: simulate_fif(tree, s, memory).io_volume,
+        max_orders,
+    )
+
+
+def min_peak_postorder_brute(
+    tree: TaskTree, *, max_orders: int = _DEFAULT_BUDGET
+) -> tuple[int, list[int]]:
+    """Exact MinMem optimum restricted to postorders."""
+    return _best_over(
+        tree,
+        iter_postorders(tree),
+        lambda s: schedule_peak_memory(tree, s),
+        max_orders,
+    )

@@ -1,0 +1,107 @@
+"""The homogeneous-tree theory of Section 4.2 (Theorem 4).
+
+When every output has unit size, the best postorder is *globally* optimal
+for MinIO.  The proof machinery defines four labels, all computed here:
+
+* ``l(v)`` — the minimum memory to execute the subtree of ``v`` without
+  any I/O.  Leaves have ``l = 1`` (one slot for their output; the paper's
+  recursive definition lists 0 for leaves but its own Lemmas 1–2 use 1,
+  and only 1 makes ``l`` equal the no-I/O peak).  Internal nodes order
+  children by non-increasing ``l`` and take ``max_i (l(v_i) + i - 1)``.
+* ``c(v_i)`` — 1 iff the POSTORDER traversal must write a (unit-size)
+  sibling to disk during the subtree of ``v_i``.
+* ``w(v) = sum_i c(v_i)`` and ``W(T) = sum_v w(v)`` — the total I/O volume
+  of POSTORDER, and by Lemma 5 a lower bound for *every* traversal.
+
+Hence ``W(T)`` is the exact optimum, and this module doubles as an oracle
+for the general algorithms on homogeneous instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import TaskTree
+
+__all__ = ["HomogeneousLabels", "homogeneous_labels", "postorder_schedule", "optimal_io"]
+
+
+def _check_homogeneous(tree: TaskTree) -> None:
+    if any(w != 1 for w in tree.weights):
+        raise ValueError("tree is not homogeneous (all weights must equal 1)")
+
+
+@dataclass(frozen=True)
+class HomogeneousLabels:
+    """The ``l``/``c``/``m``/``w`` labels of Section 4.2 for one tree."""
+
+    memory: int
+    l: tuple[int, ...]  # noqa: E741  (paper notation)
+    c: tuple[int, ...]
+    w: tuple[int, ...]
+    #: total optimal I/O volume ``W(T)``
+    total: int
+    #: children of each node sorted by non-increasing ``l``
+    child_order: tuple[tuple[int, ...], ...]
+
+
+def homogeneous_labels(tree: TaskTree, memory: int) -> HomogeneousLabels:
+    """Compute every label of the Section 4.2 machinery.
+
+    ``memory`` is the bound ``M``; it must allow each single task to run
+    (``M >= wbar_i``, i.e. ``M >=`` the maximum child count and ``>= 1``).
+    """
+    _check_homogeneous(tree)
+    if memory < tree.min_feasible_memory():
+        raise ValueError(
+            f"M={memory} below the minimal feasible memory "
+            f"{tree.min_feasible_memory()}"
+        )
+
+    n = tree.n
+    l = [1] * n  # noqa: E741
+    child_order: list[tuple[int, ...]] = [()] * n
+
+    for v in tree.bottom_up():
+        kids = tree.children[v]
+        if not kids:
+            continue
+        ordered = sorted(kids, key=lambda u: (-l[u], u))
+        child_order[v] = tuple(ordered)
+        l[v] = max(l[u] + i for i, u in enumerate(ordered))
+
+    c = [0] * n
+    w = [0] * n
+    for v in range(n):
+        ordered = child_order[v]
+        if not ordered:
+            continue
+        in_memory = 0  # m(v_i): siblings of v_i fully kept so far
+        for i, u in enumerate(ordered):
+            if i == 0 or l[u] + in_memory <= memory:
+                c[u] = 0
+            else:
+                c[u] = 1
+            in_memory += 1 - c[u]
+        w[v] = sum(c[u] for u in ordered)
+
+    return HomogeneousLabels(
+        memory=memory,
+        l=tuple(l),
+        c=tuple(c),
+        w=tuple(w),
+        total=sum(w),
+        child_order=tuple(child_order),
+    )
+
+
+def postorder_schedule(tree: TaskTree) -> list[int]:
+    """The POSTORDER schedule: children by non-increasing ``l`` labels."""
+    labels = homogeneous_labels(tree, max(tree.min_feasible_memory(), tree.n))
+    order = labels.child_order
+    return tree.postorder(lambda v: order[v] if order[v] else tree.children[v])
+
+
+def optimal_io(tree: TaskTree, memory: int) -> int:
+    """The exact minimum I/O volume ``W(T)`` of a homogeneous tree."""
+    return homogeneous_labels(tree, memory).total

@@ -1,0 +1,236 @@
+"""The whole-node (integral) I/O variant.
+
+Before allowing partial writes, the authors studied the variant where an
+output is either kept entirely in memory or written entirely to disk
+(Jacquelin, Marchal, Robert & Uçar, IPDPS'11 — reference [3] of the
+paper).  That variant is NP-complete by reduction from PARTITION, and the
+present paper's introduction motivates paging (fractional I/O) as the
+tractable-in-practice alternative.
+
+This module implements the integral variant so the two models can be
+compared quantitatively:
+
+* :func:`whole_node_fif` — the natural greedy for a fixed schedule: evict
+  *whole* outputs in furthest-in-the-future order.  Unlike the fractional
+  case (Theorem 1), this greedy is **not** optimal — it can overshoot,
+  which is exactly where the NP-hardness lives.
+* :func:`min_whole_node_io_given_schedule` — exact optimum for a fixed
+  schedule by branch-and-bound over eviction sets (small instances).
+* :func:`min_whole_node_io_brute` — exact optimum over all schedules.
+* :func:`integrality_gap` — integral-vs-fractional comparison on one
+  instance.
+
+Invariants tested in the suite: integral ≥ fractional everywhere; the
+greedy ≥ the exact integral optimum; the greedy respects validity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.simulator import InfeasibleSchedule, simulate_fif
+from .brute_force import SearchBudgetExceeded, iter_topological_orders
+
+__all__ = [
+    "WholeNodeResult",
+    "whole_node_fif",
+    "min_whole_node_io_given_schedule",
+    "min_whole_node_io_brute",
+    "integrality_gap",
+]
+
+
+@dataclass(frozen=True)
+class WholeNodeResult:
+    """Outcome of a whole-node simulation: which outputs hit the disk."""
+
+    evicted: frozenset[int]
+    io_volume: int
+    peak_memory: int
+
+
+def whole_node_fif(tree, schedule: Sequence[int], memory: int) -> WholeNodeResult:
+    """Greedy whole-node eviction, furthest parent first, for ``schedule``.
+
+    Matches the fractional simulator's structure, but a victim's entire
+    output leaves memory at once, possibly overshooting the needed room.
+
+    Raises :class:`InfeasibleSchedule` when a step cannot fit even with
+    every other active output evicted (``wbar > M``).
+    """
+    weights = tree.weights
+    parents = tree.parents
+    children = tree.children
+    pos = {v: t for t, v in enumerate(schedule)}
+    horizon = len(schedule)
+
+    resident: dict[int, int] = {}  # active node -> 0 (evicted) or w
+    evicted: set[int] = set()
+    heap: list[tuple[int, int]] = []
+    resident_total = 0
+    io_total = 0
+    peak = 0
+
+    for t, v in enumerate(schedule):
+        inputs = 0
+        for c in children[v]:
+            inputs += weights[c]
+            share = resident.pop(c, None)
+            if share:
+                resident_total -= share
+        wbar_v = max(weights[v], inputs)
+        need = wbar_v + resident_total
+        if need > memory:
+            if wbar_v > memory:
+                raise InfeasibleSchedule(
+                    f"node {v} alone needs wbar={wbar_v} > M={memory}"
+                )
+            while need > memory:
+                while heap:
+                    _, k = heap[0]
+                    if resident.get(k, 0) > 0:
+                        break
+                    heapq.heappop(heap)
+                if not heap:
+                    raise InfeasibleSchedule(
+                        f"step {t}: nothing left to evict, still over M"
+                    )
+                k = heapq.heappop(heap)[1]
+                freed = resident[k]
+                resident[k] = 0
+                resident_total -= freed
+                io_total += freed
+                evicted.add(k)
+                need -= freed
+            need = wbar_v + resident_total
+        if need > peak:
+            peak = need
+
+        if weights[v]:
+            resident[v] = weights[v]
+            resident_total += weights[v]
+            heapq.heappush(heap, (-pos.get(parents[v], horizon), v))
+        else:
+            resident[v] = 0
+
+    return WholeNodeResult(
+        evicted=frozenset(evicted), io_volume=io_total, peak_memory=peak
+    )
+
+
+def _feasible_eviction_exact(
+    tree, schedule: Sequence[int], memory: int
+) -> tuple[int, frozenset[int]]:
+    """Exact minimum whole-node eviction for a fixed schedule.
+
+    Branch-and-bound over the eviction decision of each active output,
+    taken lazily: walk the schedule; when a step overflows, branch on
+    which active node to evict (any of them could be right — the knapsack
+    nature of the problem).  State is memoised on (step, evicted-set) via
+    the recursion structure; instances are expected tiny.
+    """
+    weights = tree.weights
+    children = tree.children
+    pos = {v: t for t, v in enumerate(schedule)}
+
+    # Active windows: node -> (birth step, death step).
+    windows = {}
+    for v in schedule:
+        p = tree.parents[v]
+        death = pos.get(p, len(schedule))
+        if death > pos[v] + 1 or p == -1:
+            windows[v] = (pos[v], death)
+
+    best = [float("inf"), frozenset()]
+
+    def walk(t: int, evicted: frozenset[int], cost: int) -> None:
+        if cost >= best[0]:
+            return
+        if t == len(schedule):
+            best[0] = cost
+            best[1] = evicted
+            return
+        v = schedule[t]
+        inputs = sum(weights[c] for c in children[v])
+        wbar_v = max(weights[v], inputs)
+        active = [
+            k
+            for k, (birth, death) in windows.items()
+            if birth < t < death and k not in evicted and weights[k] > 0
+        ]
+        need = wbar_v + sum(weights[k] for k in active)
+        if need <= memory:
+            walk(t + 1, evicted, cost)
+            return
+        if wbar_v > memory or not active:
+            return  # dead branch
+        # Must evict someone: branch over every active candidate.
+        for k in active:
+            walk(t, evicted | {k}, cost + weights[k])
+
+    walk(0, frozenset(), 0)
+    if best[0] == float("inf"):
+        raise InfeasibleSchedule("no whole-node eviction set fits the schedule")
+    return int(best[0]), best[1]
+
+
+def min_whole_node_io_given_schedule(
+    tree, schedule: Sequence[int], memory: int
+) -> WholeNodeResult:
+    """Exact integral optimum for one schedule (exponential; small trees)."""
+    cost, evicted = _feasible_eviction_exact(tree, schedule, memory)
+    return WholeNodeResult(evicted=evicted, io_volume=cost, peak_memory=-1)
+
+
+def min_whole_node_io_brute(
+    tree, memory: int, *, max_orders: int = 200_000
+) -> tuple[int, list[int]]:
+    """Exact integral MinIO over all schedules (tiny trees only)."""
+    best: int | None = None
+    best_schedule: list[int] | None = None
+    count = 0
+    for schedule in iter_topological_orders(tree):
+        count += 1
+        if count > max_orders:
+            raise SearchBudgetExceeded(f"more than {max_orders} schedules")
+        try:
+            cost, _ = _feasible_eviction_exact(tree, schedule, memory)
+        except InfeasibleSchedule:
+            continue
+        if best is None or cost < best:
+            best, best_schedule = cost, schedule
+    if best is None:
+        raise InfeasibleSchedule("no schedule fits at all")
+    return best, best_schedule
+
+
+@dataclass(frozen=True)
+class IntegralityGap:
+    """Fractional vs integral I/O for one (tree, schedule, memory)."""
+
+    fractional: int
+    integral_greedy: int
+    integral_exact: int | None
+
+    @property
+    def gap(self) -> int:
+        base = self.integral_exact if self.integral_exact is not None else self.integral_greedy
+        return base - self.fractional
+
+
+def integrality_gap(
+    tree, schedule: Sequence[int], memory: int, *, exact: bool = False
+) -> IntegralityGap:
+    """How much the whole-node restriction costs on a fixed schedule."""
+    fractional = simulate_fif(tree, schedule, memory).io_volume
+    greedy = whole_node_fif(tree, schedule, memory).io_volume
+    exact_cost = (
+        min_whole_node_io_given_schedule(tree, schedule, memory).io_volume
+        if exact
+        else None
+    )
+    return IntegralityGap(
+        fractional=fractional, integral_greedy=greedy, integral_exact=exact_cost
+    )

@@ -1,0 +1,202 @@
+"""Liu's optimal peak-memory tree traversal (``OPTMINMEM``).
+
+Reference: J. W. H. Liu, *An application of generalized tree pebbling to
+sparse matrix factorization*, SIAM J. Algebraic Discrete Methods 8(3), 1987
+— the algorithm the paper calls ``OPTMINMEM`` (Section 3.3) and uses both
+as a baseline MinIO strategy (Section 4.4) and as the engine of the
+RecExpand heuristics (Section 5).
+
+Hill–valley segment algebra
+---------------------------
+
+The minimum-memory traversal of the subtree rooted at ``v`` is represented
+by a canonical sequence of *segments* ``[(h_1, t_1), ..., (h_s, t_s)]``:
+
+* segment ``i`` executes a contiguous group of nodes, reaching peak
+  (*hill*) ``h_i`` and ending with ``t_i`` units resident (*valley*);
+* canonically, hills strictly decrease and valleys strictly increase
+  (any other cut point is dominated and merged away).
+
+To combine the children of ``v``, each child's segments are turned into
+**deltas** relative to the child's previous valley —
+``(X_i, Y_i) = (h_i - t_{i-1}, t_i - t_{i-1})`` with ``t_0 = 0`` — because
+a child's later segments *replace* its earlier residual rather than adding
+to it.  Executing the merged deltas on a running base then reproduces the
+true memory profile, and Liu's rearrangement lemma (Theorem 3 of the
+paper) applies to deltas: the peak of the merged sequence is minimised by
+sorting by decreasing ``X - Y = h_i - t_i``, which is strictly decreasing
+within each child, so a global merge never violates per-child order.
+
+Finally the execution of ``v`` itself appends a segment with hill
+``max(sum of children outputs, w_v) = wbar_v`` and valley ``w_v``, and the
+whole sequence is re-canonicalised.
+
+Segments carry the executed nodes as a *rope* (nested pairs, flattened on
+demand) so that schedule extraction stays linear even on deep chains.
+
+The solver memoises segments per subtree and supports invalidating a
+root-ward path, which makes the RecExpand inner loop (re-solve after a
+single node expansion) cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.tree import TaskTree
+
+__all__ = ["Segment", "LiuSolver", "opt_min_mem", "min_peak_memory"]
+
+
+# A rope is an int (single node) or a pair of ropes; flattening is iterative.
+Rope = object
+
+
+def _flatten_rope(rope: Rope, out: list[int]) -> None:
+    stack = [rope]
+    while stack:
+        x = stack.pop()
+        if type(x) is int:
+            out.append(x)
+        else:
+            a, b = x  # type: ignore[misc]
+            stack.append(b)
+            stack.append(a)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One canonical hill–valley segment of a subtree traversal."""
+
+    hill: int
+    valley: int
+    nodes: Rope  # the tasks executed by this segment, in order
+
+    def node_list(self) -> list[int]:
+        out: list[int] = []
+        _flatten_rope(self.nodes, out)
+        return out
+
+
+class LiuSolver:
+    """Memoised bottom-up solver for the MinMem problem.
+
+    Works on any object following the tree protocol (``weights``,
+    ``children``, ``parents``, ``root``), including the mutable
+    :class:`~repro.core.expansion.ExpansionTree`.
+    """
+
+    def __init__(self, tree):
+        self.tree = tree
+        self._segs: dict[int, list[Segment]] = {}
+
+    # ------------------------------------------------------------------
+    def segments(self, v: int | None = None) -> list[Segment]:
+        """Canonical segments of the subtree rooted at ``v`` (default: root)."""
+        if v is None:
+            v = self.tree.root
+        segs = self._segs
+        cached = segs.get(v)
+        if cached is not None:
+            return cached
+        children = self.tree.children
+        stack = [v]
+        while stack:
+            u = stack[-1]
+            if u in segs:
+                stack.pop()
+                continue
+            missing = [c for c in children[u] if c not in segs]
+            if missing:
+                stack.extend(missing)
+            else:
+                segs[u] = self._combine(u)
+                stack.pop()
+        return segs[v]
+
+    def peak(self, v: int | None = None) -> int:
+        """Minimum peak memory to execute the subtree rooted at ``v``."""
+        return self.segments(v)[0].hill
+
+    def schedule(self, v: int | None = None) -> list[int]:
+        """An optimal-peak execution order of the subtree rooted at ``v``."""
+        out: list[int] = []
+        for seg in self.segments(v):
+            _flatten_rope(seg.nodes, out)
+        return out
+
+    def invalidate_from(self, v: int) -> None:
+        """Drop cached segments of ``v`` and all its ancestors.
+
+        Call after mutating the weight or children of ``v`` (the subtrees
+        hanging below ``v`` are unaffected and stay cached).
+        """
+        parents = self.tree.parents
+        segs = self._segs
+        u = v
+        while u != -1:
+            segs.pop(u, None)
+            u = parents[u]
+
+    # ------------------------------------------------------------------
+    def _combine(self, v: int) -> list[Segment]:
+        tree = self.tree
+        kids = tree.children[v]
+        w_v = tree.weights[v]
+        if not kids:
+            return [Segment(w_v, w_v, v)]
+
+        # Delta segments of all children, merged by decreasing h - t.
+        # (rank, idx) make the sort deterministic: construction order of the
+        # children breaks ties, which is also what the paper's figures use.
+        items: list[tuple[int, int, int, int, int, Rope]] = []
+        segs = self._segs
+        for rank, c in enumerate(kids):
+            prev_valley = 0
+            for idx, seg in enumerate(segs[c]):
+                items.append(
+                    (
+                        -(seg.hill - seg.valley),
+                        rank,
+                        idx,
+                        seg.hill - prev_valley,  # X
+                        seg.valley - prev_valley,  # Y
+                        seg.nodes,
+                    )
+                )
+                prev_valley = seg.valley
+        items.sort(key=lambda it: (it[0], it[1], it[2]))
+
+        # Replay the merged deltas on a running base, then execute v itself.
+        raw: list[tuple[int, int, Rope]] = []
+        base = 0
+        for _, _, _, x, y, nodes in items:
+            hill = base + x
+            base += y
+            raw.append((hill, base, nodes))
+        raw.append((max(base, w_v), w_v, v))  # base == sum of children outputs
+
+        # Canonicalise: hills strictly decreasing, valleys strictly
+        # increasing; a violating segment is merged with its predecessor
+        # (hill = max of both, valley = the later one).
+        out: list[Segment] = []
+        for hill, valley, nodes in raw:
+            while out and (hill >= out[-1].hill or valley <= out[-1].valley):
+                top = out.pop()
+                if top.hill > hill:
+                    hill = top.hill
+                nodes = (top.nodes, nodes)
+            out.append(Segment(hill, valley, nodes))
+        return out
+
+
+def opt_min_mem(tree: TaskTree) -> tuple[list[int], int]:
+    """``OPTMINMEM``: an optimal-peak schedule and its peak memory."""
+    solver = LiuSolver(tree)
+    return solver.schedule(), solver.peak()
+
+
+def min_peak_memory(tree: TaskTree) -> int:
+    """The in-core peak memory lower bound ``Peak_incore`` of a tree."""
+    return LiuSolver(tree).peak()

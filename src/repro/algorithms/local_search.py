@@ -1,0 +1,196 @@
+"""Local search over schedules: a post-optimizer for any strategy.
+
+The paper's heuristics commit to one schedule; Figure 7 proves none of
+them is always right.  A cheap, generic way to claw back some of the gap
+is hill-climbing on the schedule under the FiF objective (Theorem 1
+makes the objective well-defined per schedule):
+
+* **swap** — transpose adjacent tasks when no dependency forbids it;
+* **shift** — move one task as early as its children allow, or as late
+  as its parent allows (block moves that swaps alone reach slowly);
+* **gather** — make one subtree's steps contiguous (ending at its root's
+  current position).  In a tree the only dependency leaving a subtree is
+  its root's edge, so gathering is always valid; it is the move that
+  de-interleaves Figure 2(c)-style schedules, which no sequence of
+  improving single-task moves can repair.
+
+First-improvement, round-based, budget-capped: the FiF evaluation is
+``O(n log n)``, so the search costs ``O(rounds * n^2 log n)`` at worst —
+a post-pass for moderate trees, not a dataset-sweep algorithm.  The
+result never regresses below the starting schedule (tested invariant).
+
+Finding (documented in EXPERIMENTS.md): started from RecExpand the
+search rarely improves — RecExpand sits in a deep local optimum — while
+started from PostOrderMinIO it recovers a large share of the postorder
+gap.  That asymmetry is itself evidence for the paper's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.simulator import fif_traversal, simulate_fif
+from ..core.traversal import Traversal
+from ..core.tree import TaskTree
+
+__all__ = ["LocalSearchResult", "local_search"]
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of one hill-climbing run."""
+
+    traversal: Traversal
+    start_io: int
+    evaluations: int
+    rounds: int
+
+    @property
+    def io_volume(self) -> int:
+        return self.traversal.io_volume
+
+    @property
+    def improvement(self) -> int:
+        """I/O units saved relative to the starting schedule."""
+        return self.start_io - self.io_volume
+
+
+def _earliest_position(tree: TaskTree, schedule: list[int], i: int) -> int:
+    """Earliest index task ``schedule[i]`` may move to (after its children)."""
+    v = schedule[i]
+    children = set(tree.children[v])
+    earliest = 0
+    for j in range(i - 1, -1, -1):
+        if schedule[j] in children:
+            earliest = j + 1
+            break
+    return earliest
+
+
+def _latest_position(tree: TaskTree, schedule: list[int], i: int) -> int:
+    """Latest index task ``schedule[i]`` may move to (before its parent)."""
+    v = schedule[i]
+    parent = tree.parents[v]
+    latest = len(schedule) - 1
+    if parent == -1:
+        return latest
+    for j in range(i + 1, len(schedule)):
+        if schedule[j] == parent:
+            return j - 1
+    return latest
+
+
+def local_search(
+    tree: TaskTree,
+    memory: int,
+    schedule: Sequence[int] | None = None,
+    *,
+    neighborhoods: Sequence[str] = ("swap", "shift", "gather"),
+    max_rounds: int = 8,
+    max_evaluations: int = 20_000,
+) -> LocalSearchResult:
+    """Hill-climb ``schedule`` (default: RecExpand's) under the FiF cost.
+
+    Parameters
+    ----------
+    neighborhoods:
+        any subset of ``{"swap", "shift", "gather"}``; applied in the
+        given order within each round.
+    max_rounds:
+        stop after this many full passes even if still improving.
+    max_evaluations:
+        global budget of FiF evaluations (the dominant cost).
+
+    Returns
+    -------
+    LocalSearchResult
+        whose traversal is always at least as good as the input schedule.
+    """
+    unknown = set(neighborhoods) - {"swap", "shift", "gather"}
+    if unknown:
+        raise ValueError(f"unknown neighborhoods: {sorted(unknown)}")
+    if schedule is None:
+        from .rec_expand import rec_expand
+
+        schedule = rec_expand(tree, memory).traversal.schedule
+    current = list(schedule)
+    n = len(current)
+    if sorted(current) != list(range(tree.n)):
+        raise ValueError("schedule is not a permutation of the nodes")
+
+    evaluations = 0
+
+    def cost(s: list[int]) -> int:
+        nonlocal evaluations
+        evaluations += 1
+        return simulate_fif(tree, s, memory).io_volume
+
+    best_io = start_io = cost(current)
+    rounds = 0
+    improved = True
+    while improved and rounds < max_rounds and evaluations < max_evaluations:
+        improved = False
+        rounds += 1
+        if "swap" in neighborhoods:
+            for i in range(n - 1):
+                if evaluations >= max_evaluations:
+                    break
+                a, b = current[i], current[i + 1]
+                # Invalid only if b consumes a.
+                if tree.parents[a] == b:
+                    continue
+                current[i], current[i + 1] = b, a
+                io = cost(current)
+                if io < best_io:
+                    best_io = io
+                    improved = True
+                else:
+                    current[i], current[i + 1] = a, b
+        if "shift" in neighborhoods:
+            for i in range(n):
+                if evaluations >= max_evaluations:
+                    break
+                for target in (_earliest_position(tree, current, i),
+                               _latest_position(tree, current, i)):
+                    if target == i:
+                        continue
+                    v = current.pop(i)
+                    current.insert(target, v)
+                    io = cost(current)
+                    if io < best_io:
+                        best_io = io
+                        improved = True
+                        break
+                    current.pop(target)
+                    current.insert(i, v)
+        if "gather" in neighborhoods:
+            for v in range(tree.n):
+                if evaluations >= max_evaluations:
+                    break
+                if not tree.children[v]:
+                    continue
+                subtree = set(tree.subtree_nodes(v))
+                pos_v = current.index(v)
+                block = [u for u in current[:pos_v + 1] if u in subtree]
+                if len(block) == pos_v + 1:
+                    continue  # already a prefix — gathering is a no-op
+                candidate = [u for u in current[:pos_v + 1] if u not in subtree]
+                candidate.extend(block)
+                candidate.extend(current[pos_v + 1:])
+                if candidate == current:
+                    continue
+                io = cost(candidate)
+                if io < best_io:
+                    best_io = io
+                    current = candidate
+                    improved = True
+
+    traversal = fif_traversal(tree, current, memory)
+    assert traversal.io_volume == best_io
+    return LocalSearchResult(
+        traversal=traversal,
+        start_io=start_io,
+        evaluations=evaluations,
+        rounds=rounds,
+    )

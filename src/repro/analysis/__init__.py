@@ -1,0 +1,32 @@
+"""Evaluation machinery: memory bounds, metrics, performance profiles."""
+
+from .bounds import MemoryBounds, memory_bounds, paper_memory_grid, requires_io
+from .metrics import best_performance, overhead, performance
+from .profiles import (
+    PerformanceProfile,
+    ProfileCurve,
+    build_profile,
+    profile_from_io,
+    render_ascii,
+    to_csv,
+)
+from .tree_stats import TreeStats, dataset_table, tree_stats
+
+__all__ = [
+    "MemoryBounds",
+    "memory_bounds",
+    "paper_memory_grid",
+    "requires_io",
+    "performance",
+    "overhead",
+    "best_performance",
+    "PerformanceProfile",
+    "ProfileCurve",
+    "build_profile",
+    "profile_from_io",
+    "render_ascii",
+    "to_csv",
+    "TreeStats",
+    "tree_stats",
+    "dataset_table",
+]

@@ -1,0 +1,71 @@
+"""Memory bounds framing every experiment (Section 6.1).
+
+For a tree ``T``:
+
+* ``LB = max_i wbar_i`` — below this not even a single task fits, so no
+  traversal exists;
+* ``Peak_incore`` — the MinMem optimum (Liu): with this much memory no
+  I/O is ever needed.
+
+I/O is therefore only interesting for ``M in [LB, Peak_incore - 1]``.  The
+paper evaluates three points of that interval: ``M1 = LB`` (Appendix B),
+``Mmid = (LB + Peak_incore - 1) / 2`` (Section 6) and
+``M2 = Peak_incore - 1`` (Appendix B).  Trees with ``Peak_incore == LB``
+(no I/O regime at all) are dropped from the datasets, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.liu import min_peak_memory
+from ..core.tree import TaskTree
+
+__all__ = ["MemoryBounds", "memory_bounds", "paper_memory_grid", "requires_io"]
+
+
+@dataclass(frozen=True)
+class MemoryBounds:
+    """The feasible-memory interval of one tree."""
+
+    lb: int
+    peak_incore: int
+
+    @property
+    def m1(self) -> int:
+        """The tightest feasible bound (Appendix B's ``M1``)."""
+        return self.lb
+
+    @property
+    def m2(self) -> int:
+        """The loosest bound still forcing I/O (Appendix B's ``M2``)."""
+        return self.peak_incore - 1
+
+    @property
+    def mid(self) -> int:
+        """The paper's main-study bound ``(LB + Peak_incore - 1) / 2``."""
+        return (self.lb + self.peak_incore - 1) // 2
+
+    @property
+    def has_io_regime(self) -> bool:
+        """True iff some memory bound forces I/O (``Peak > LB``)."""
+        return self.peak_incore > self.lb
+
+    def grid(self) -> dict[str, int]:
+        """The three paper bounds keyed by their names."""
+        return {"M1": self.m1, "Mmid": self.mid, "M2": self.m2}
+
+
+def memory_bounds(tree: TaskTree) -> MemoryBounds:
+    """Compute ``LB`` and ``Peak_incore`` for a tree."""
+    return MemoryBounds(lb=tree.min_feasible_memory(), peak_incore=min_peak_memory(tree))
+
+
+def paper_memory_grid(tree: TaskTree) -> dict[str, int]:
+    """Shortcut for :meth:`MemoryBounds.grid`."""
+    return memory_bounds(tree).grid()
+
+
+def requires_io(tree: TaskTree) -> bool:
+    """True iff the tree has a memory regime where I/O is unavoidable."""
+    return memory_bounds(tree).has_io_regime

@@ -1,0 +1,71 @@
+"""Lower bounds on the optimal I/O volume of heterogeneous trees.
+
+The paper gives no general lower bound besides brute force; these are the
+two sound ones we use to sandwich the heuristics in tests and to report
+certified optimality in the experiment tables:
+
+* **Peak bound** — for *any* schedule ``sigma``, at the step where its
+  unbounded-memory usage peaks the resident parts must fit in ``M``, so
+  the active outputs carry at least ``peak(sigma) - M`` evicted units:
+  ``io(sigma) >= peak(sigma) - M >= Peak_incore - M``.
+* **Homogeneous bound** — on unit-weight trees the Section 4.2 label sum
+  ``W(T)`` is exact (Theorem 4), hence also a lower bound.
+
+A tempting refinement — summing peak deficits over disjoint subtrees — is
+**unsound**: an output active at both subtrees' peak steps would have its
+eviction counted twice.  We document it here so nobody re-adds it.
+(The figure 2(a) family shows how weak the peak bound can be anyway:
+its optimum is 1 I/O with a peak of only ``M + 1``, while PostOrderMinIO
+pays ``Ω(nM)`` — lower bounds cannot separate heuristics there.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.homogeneous import optimal_io as homogeneous_optimal_io
+from ..algorithms.liu import min_peak_memory
+from ..core.tree import TaskTree
+
+__all__ = ["IOLowerBound", "peak_io_lower_bound", "io_lower_bound"]
+
+
+@dataclass(frozen=True)
+class IOLowerBound:
+    """A certified lower bound with its provenance."""
+
+    value: int
+    source: str  # "peak" | "homogeneous" | "trivial"
+    #: True when the bound is known to be attained (homogeneous trees)
+    exact: bool = False
+
+
+def peak_io_lower_bound(tree: TaskTree, memory: int) -> int:
+    """``max(0, Peak_incore - M)``: sound for every tree.
+
+    Any traversal's schedule has unbounded-memory peak at least Liu's
+    optimum; everything above ``M`` at the peak step must be on disk.
+    """
+    return max(0, min_peak_memory(tree) - memory)
+
+
+def io_lower_bound(tree: TaskTree, memory: int) -> IOLowerBound:
+    """The best known certified lower bound for ``tree`` at ``memory``.
+
+    On homogeneous trees this is the exact optimum ``W(T)``; otherwise
+    the peak bound (which may be far from tight — see the module notes).
+    """
+    if memory < tree.min_feasible_memory():
+        raise ValueError(
+            f"memory {memory} below feasibility bound {tree.min_feasible_memory()}"
+        )
+    if all(w == 1 for w in tree.weights):
+        return IOLowerBound(
+            value=homogeneous_optimal_io(tree, memory),
+            source="homogeneous",
+            exact=True,
+        )
+    peak = peak_io_lower_bound(tree, memory)
+    if peak > 0:
+        return IOLowerBound(value=peak, source="peak")
+    return IOLowerBound(value=0, source="trivial")

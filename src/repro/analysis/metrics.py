@@ -1,0 +1,39 @@
+"""Performance metrics of Section 6.2.
+
+Raw I/O volumes are incomparable across instances (10 I/Os mean something
+different with ``M = 10`` than with ``M = 1000``), so the paper normalises
+a schedule performing ``k`` I/Os under memory ``M`` to
+
+.. math::  \\text{perf} = (M + k) / M
+
+— 1.0 for an I/O-free schedule, 2.0 for a full memory's worth of writes.
+Overheads in the performance profiles are *relative to the best observed
+performance on that instance*.
+"""
+
+from __future__ import annotations
+
+__all__ = ["performance", "overhead", "best_performance"]
+
+
+def performance(memory: int, io_volume: int) -> float:
+    """The paper's normalised metric ``(M + k) / M``."""
+    if memory <= 0:
+        raise ValueError(f"memory bound must be positive, got {memory}")
+    if io_volume < 0:
+        raise ValueError(f"I/O volume cannot be negative, got {io_volume}")
+    return (memory + io_volume) / memory
+
+
+def best_performance(perfs: dict[str, float]) -> float:
+    """Best (lowest) performance among the algorithms on one instance."""
+    if not perfs:
+        raise ValueError("no performances given")
+    return min(perfs.values())
+
+
+def overhead(perf: float, best: float) -> float:
+    """Relative overhead of ``perf`` versus the instance best, in [0, ∞)."""
+    if best <= 0:
+        raise ValueError(f"best performance must be positive, got {best}")
+    return perf / best - 1.0

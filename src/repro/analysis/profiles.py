@@ -1,0 +1,175 @@
+"""Dolan–Moré performance profiles (the paper's Figures 4, 5, 8–11).
+
+A performance profile reports, for each algorithm and each overhead
+threshold ``t``, the fraction of instances on which the algorithm's
+normalised performance is within ``t`` (relatively) of the best observed
+performance on that instance — a cumulative distribution that summarises a
+whole dataset without averaging artifacts.  Higher curves are better.
+
+The module also renders profiles as ASCII plots (for terminals and the
+benchmark logs) and as CSV (for external plotting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .metrics import performance
+
+__all__ = [
+    "ProfileCurve",
+    "PerformanceProfile",
+    "build_profile",
+    "profile_from_io",
+    "render_ascii",
+    "to_csv",
+]
+
+
+@dataclass(frozen=True)
+class ProfileCurve:
+    """One algorithm's cumulative curve over the overhead thresholds."""
+
+    algorithm: str
+    thresholds: tuple[float, ...]  # relative overheads (0.05 == 5 %)
+    fractions: tuple[float, ...]
+
+    def fraction_at(self, threshold: float) -> float:
+        """Fraction of instances within ``threshold`` of the best."""
+        idx = np.searchsorted(self.thresholds, threshold, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return self.fractions[idx]
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    """All curves of one experiment plus its raw per-instance data."""
+
+    curves: tuple[ProfileCurve, ...]
+    performances: Mapping[str, tuple[float, ...]]
+    num_instances: int
+
+    def curve(self, algorithm: str) -> ProfileCurve:
+        for c in self.curves:
+            if c.algorithm == algorithm:
+                return c
+        raise KeyError(algorithm)
+
+    def algorithms(self) -> list[str]:
+        return [c.algorithm for c in self.curves]
+
+
+def build_profile(
+    performances: Mapping[str, Sequence[float]],
+    thresholds: Iterable[float] | None = None,
+) -> PerformanceProfile:
+    """Build profile curves from per-instance performances.
+
+    ``performances[alg][i]`` is algorithm ``alg``'s normalised performance
+    on instance ``i``; all algorithms must cover the same instances.
+    """
+    algorithms = list(performances)
+    if not algorithms:
+        raise ValueError("no algorithms given")
+    lengths = {len(performances[a]) for a in algorithms}
+    if len(lengths) != 1:
+        raise ValueError(f"instance counts differ between algorithms: {lengths}")
+    (count,) = lengths
+    if count == 0:
+        raise ValueError("no instances given")
+
+    matrix = np.array([performances[a] for a in algorithms], dtype=float)
+    if np.any(matrix < 1.0):
+        raise ValueError("performances below 1.0 are impossible under (M+k)/M")
+    best = matrix.min(axis=0)
+    ratios = matrix / best - 1.0  # relative overhead vs instance best
+
+    if thresholds is None:
+        # Exact profile: evaluate at every observed overhead (plus 0).
+        points = np.unique(np.concatenate([[0.0], ratios.ravel()]))
+    else:
+        points = np.unique(np.asarray(list(thresholds), dtype=float))
+    curves = []
+    for i, alg in enumerate(algorithms):
+        fractions = (ratios[i][None, :] <= points[:, None] + 1e-12).mean(axis=1)
+        curves.append(
+            ProfileCurve(
+                algorithm=alg,
+                thresholds=tuple(points.tolist()),
+                fractions=tuple(fractions.tolist()),
+            )
+        )
+    return PerformanceProfile(
+        curves=tuple(curves),
+        performances={a: tuple(map(float, performances[a])) for a in algorithms},
+        num_instances=count,
+    )
+
+
+def profile_from_io(
+    io_volumes: Mapping[str, Sequence[int]],
+    memories: Sequence[int],
+    thresholds: Iterable[float] | None = None,
+) -> PerformanceProfile:
+    """Profile built from raw I/O volumes and per-instance memory bounds."""
+    perfs = {
+        alg: [performance(m, k) for m, k in zip(memories, vols, strict=True)]
+        for alg, vols in io_volumes.items()
+    }
+    return build_profile(perfs, thresholds)
+
+
+def render_ascii(
+    profile: PerformanceProfile,
+    *,
+    width: int = 72,
+    height: int = 18,
+    max_threshold: float | None = None,
+) -> str:
+    """Plot the profile curves as ASCII art (one marker per algorithm)."""
+    markers = "ox+*#@%&"
+    curves = profile.curves
+    if max_threshold is None:
+        observed = [t for c in curves for t in c.thresholds]
+        max_threshold = max(observed) if observed else 1.0
+        if max_threshold == 0:
+            max_threshold = 0.01
+    xs = np.linspace(0.0, max_threshold, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, curve in enumerate(curves):
+        marker = markers[ci % len(markers)]
+        for xi, x in enumerate(xs):
+            frac = curve.fraction_at(float(x))
+            row = height - 1 - int(round(frac * (height - 1)))
+            if grid[row][xi] == " ":
+                grid[row][xi] = marker
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        lines.append(f"{frac:5.2f} |" + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       0%{' ' * (width - 12)}{max_threshold * 100:.0f}% overhead")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {c.algorithm}" for i, c in enumerate(curves)
+    )
+    lines.append("       " + legend)
+    return "\n".join(lines)
+
+
+def to_csv(profile: PerformanceProfile) -> str:
+    """The curves as CSV: ``threshold, alg1, alg2, ...`` rows."""
+    algorithms = profile.algorithms()
+    points = sorted({t for c in profile.curves for t in c.thresholds})
+    lines = ["threshold," + ",".join(algorithms)]
+    for t in points:
+        row = [f"{t:.6f}"] + [
+            f"{profile.curve(a).fraction_at(t):.6f}" for a in algorithms
+        ]
+        lines.append(",".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""I/O-versus-memory curves across a tree's whole regime.
+
+The paper evaluates three memory points (M1, Mmid, M2); a solver
+integrator tuning a memory budget wants the entire curve
+``M -> io(strategy, M)`` on ``[LB, Peak_incore]``.  This module samples
+it and extracts the quantities that matter for provisioning:
+
+* normalised **area** under the curve (a single scalar ranking
+  strategies across the regime, not just at one bound);
+* the **knee** — the bound with the steepest marginal return, i.e. where
+  one extra unit of memory saves the most I/O;
+* **monotonicity violations** — memory points where *more* memory made a
+  strategy do *more* I/O.  For OptMinMem this can never happen (its
+  schedule ignores ``M`` and FiF volume is monotone in ``M`` for a fixed
+  schedule — a tested theorem); adaptive strategies (PostOrderMinIO,
+  RecExpand) re-plan per bound and can regress, which is worth knowing
+  before trusting a single-point comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.tree import TaskTree
+from .bounds import memory_bounds
+
+__all__ = ["IOCurve", "io_curve", "sample_memories"]
+
+
+@dataclass(frozen=True)
+class IOCurve:
+    """One strategy's I/O volume sampled across memory bounds."""
+
+    algorithm: str
+    memories: tuple[int, ...]
+    volumes: tuple[int, ...]
+
+    def area(self) -> float:
+        """Mean performance ``(M + io)/M`` over the samples (1.0 = no I/O)."""
+        return sum(
+            (m + v) / m for m, v in zip(self.memories, self.volumes)
+        ) / len(self.memories)
+
+    def knee(self) -> int:
+        """The sampled bound *after* which the largest I/O drop occurs.
+
+        Returns the memory value ``memories[i]`` maximising
+        ``volumes[i] - volumes[i+1]`` — the point where buying memory
+        pays most.  For a flat curve, the first sample.
+        """
+        if len(self.memories) < 2:
+            return self.memories[0]
+        drops = [
+            self.volumes[i] - self.volumes[i + 1]
+            for i in range(len(self.volumes) - 1)
+        ]
+        return self.memories[max(range(len(drops)), key=drops.__getitem__)]
+
+    def monotone_violations(self) -> list[int]:
+        """Sampled bounds where increasing memory increased the I/O."""
+        return [
+            self.memories[i + 1]
+            for i in range(len(self.volumes) - 1)
+            if self.volumes[i + 1] > self.volumes[i]
+        ]
+
+
+def sample_memories(tree: TaskTree, samples: int = 12) -> list[int]:
+    """Evenly spaced integer bounds covering ``[LB, Peak_incore]``.
+
+    Both endpoints are always included (the curve's anchors: maximal I/O
+    pressure and guaranteed zero).
+    """
+    if samples < 2:
+        raise ValueError("need at least two samples to span the regime")
+    bounds = memory_bounds(tree)
+    lo, hi = bounds.lb, bounds.peak_incore
+    if hi - lo + 1 <= samples:
+        return list(range(lo, hi + 1))
+    step = (hi - lo) / (samples - 1)
+    out = sorted({lo + round(i * step) for i in range(samples)})
+    out[0], out[-1] = lo, hi
+    return out
+
+
+def io_curve(
+    tree: TaskTree,
+    strategy: str | Callable[[TaskTree, int], object],
+    memories: Sequence[int] | None = None,
+    *,
+    samples: int = 12,
+) -> IOCurve:
+    """Sample one strategy's I/O volume across the memory regime.
+
+    ``strategy`` is a registry name or any ``f(tree, memory)`` returning
+    an object with an ``io_volume`` attribute.
+    """
+    if isinstance(strategy, str):
+        from ..experiments.registry import get_algorithm
+
+        name, fn = strategy, get_algorithm(strategy)
+    else:
+        name, fn = getattr(strategy, "__name__", "custom"), strategy
+    if memories is None:
+        memories = sample_memories(tree, samples)
+    volumes = [fn(tree, m).io_volume for m in memories]  # type: ignore[attr-defined]
+    return IOCurve(
+        algorithm=name, memories=tuple(memories), volumes=tuple(volumes)
+    )

@@ -1,0 +1,99 @@
+"""Shape and weight statistics of task trees.
+
+Used to characterise datasets in EXPERIMENTS.md (the paper reports the
+same kinds of numbers about its collections: node counts, tree shapes,
+how far apart LB and the in-core peak sit) and to sanity-check that the
+synthetic TREES substitute behaves like elimination trees (shallow, fat,
+heavy-tailed weights) rather than like random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.tree import TaskTree
+from .bounds import memory_bounds
+
+__all__ = ["TreeStats", "tree_stats", "dataset_table"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """One tree's headline numbers."""
+
+    n: int
+    depth: int
+    leaves: int
+    max_arity: int
+    mean_arity_internal: float
+    total_weight: int
+    max_weight: int
+    weight_cv: float  # coefficient of variation of the output sizes
+    lb: int
+    peak_incore: int
+
+    @property
+    def io_regime_width(self) -> int:
+        """How many memory values force I/O (0 = nothing to study)."""
+        return max(0, self.peak_incore - self.lb)
+
+    @property
+    def balance(self) -> float:
+        """Depth relative to the star/chain extremes: 0 = star, 1 = chain."""
+        if self.n <= 1:
+            return 0.0
+        return (self.depth - 1) / (self.n - 1)
+
+    def row(self) -> str:
+        return (
+            f"{self.n:>6} {self.depth:>6} {self.leaves:>6} {self.max_arity:>5} "
+            f"{self.total_weight:>10} {self.weight_cv:>6.2f} "
+            f"{self.lb:>8} {self.peak_incore:>8} {self.io_regime_width:>7}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'n':>6} {'depth':>6} {'leaves':>6} {'arity':>5} "
+            f"{'weight':>10} {'w-cv':>6} {'LB':>8} {'peak':>8} {'regime':>7}"
+        )
+
+
+def tree_stats(tree: TaskTree) -> TreeStats:
+    """Compute all statistics for one tree."""
+    arities = [len(c) for c in tree.children]
+    internal = [a for a in arities if a > 0]
+    weights = np.asarray(tree.weights, dtype=float)
+    mean_w = weights.mean()
+    cv = float(weights.std() / mean_w) if mean_w > 0 else 0.0
+    bounds = memory_bounds(tree)
+    return TreeStats(
+        n=tree.n,
+        depth=tree.depth(),
+        leaves=len(tree.leaves()),
+        max_arity=max(arities),
+        mean_arity_internal=float(np.mean(internal)) if internal else 0.0,
+        total_weight=tree.total_weight(),
+        max_weight=max(tree.weights),
+        weight_cv=cv,
+        lb=bounds.lb,
+        peak_incore=bounds.peak_incore,
+    )
+
+
+def dataset_table(trees: Sequence[TaskTree], name: str = "dataset") -> str:
+    """A printable per-tree table plus aggregate line for a dataset."""
+    stats = [tree_stats(t) for t in trees]
+    lines = [f"{name}: {len(trees)} trees", TreeStats.header()]
+    lines += [s.row() for s in stats]
+    if stats:
+        with_regime = sum(1 for s in stats if s.io_regime_width > 0)
+        lines.append(
+            f"-- {with_regime}/{len(stats)} trees have an I/O regime; "
+            f"median n = {int(np.median([s.n for s in stats]))}, "
+            f"median depth = {int(np.median([s.depth for s in stats]))}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,331 @@
+"""Command-line interface: inspect trees, run strategies, regenerate figures.
+
+Examples
+--------
+::
+
+    repro-ioschedule demo
+    repro-ioschedule info --tree tree.json
+    repro-ioschedule solve --tree tree.json --memory 64 --algorithm RecExpand
+    repro-ioschedule figure --id fig4 --scale tiny --svg fig4.svg
+    repro-ioschedule instance --name figure_2b --algorithm OptMinMem
+    repro-ioschedule paging --tree tree.json --memory 64 --page-size 4
+    repro-ioschedule exact --tree tree.json --memory 64
+    repro-ioschedule parallel --tree tree.json --memory 64 --processors 4
+    repro-ioschedule draw --tree tree.json --out tree.svg
+    repro-ioschedule report --scale tiny --outdir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis.bounds import memory_bounds
+from .analysis.profiles import render_ascii, to_csv
+from .core.traversal import validate
+from .core.tree import TaskTree
+from .datasets import instances as paper_instances
+from .experiments.figures import FIGURES
+from .experiments.registry import ALGORITHMS, ORACLES, get_algorithm
+
+__all__ = ["main"]
+
+_ALL_STRATEGIES = sorted(ALGORITHMS) + sorted(ORACLES)
+
+
+def _load_tree(path: str) -> TaskTree:
+    with open(path) as fh:
+        return TaskTree.from_dict(json.load(fh))
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    bounds = memory_bounds(tree)
+    print(f"nodes           : {tree.n}")
+    print(f"depth           : {tree.depth()}")
+    print(f"leaves          : {len(tree.leaves())}")
+    print(f"total weight    : {tree.total_weight()}")
+    print(f"LB (max wbar)   : {bounds.lb}")
+    print(f"Peak_incore     : {bounds.peak_incore}")
+    print(f"I/O regime      : {'[%d, %d]' % (bounds.m1, bounds.m2) if bounds.has_io_regime else 'none'}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    tree = _load_tree(args.tree)
+    traversal = get_algorithm(args.algorithm)(tree, args.memory)
+    validate(tree, traversal, args.memory)
+    print(f"algorithm   : {args.algorithm}")
+    print(f"memory      : {args.memory}")
+    print(f"io volume   : {traversal.io_volume}")
+    print(f"performance : {traversal.performance(args.memory):.4f}")
+    if args.show_schedule:
+        print("schedule    :", " ".join(map(str, traversal.schedule)))
+        nonzero = {v: a for v, a in enumerate(traversal.io) if a}
+        print("io function :", nonzero if nonzero else "(no I/O)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    builder = FIGURES[args.id]
+    result = builder(args.scale)
+    print(result.summary())
+    print()
+    print(render_ascii(result.profile, max_threshold=args.max_overhead))
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(to_csv(result.profile))
+        print(f"\ncurves written to {args.csv}")
+    if args.svg:
+        from .viz import profile_chart
+
+        with open(args.svg, "w") as fh:
+            fh.write(
+                profile_chart(
+                    result.profile,
+                    title=result.name,
+                    max_threshold=args.max_overhead,
+                )
+            )
+        print(f"figure written to {args.svg}")
+    return 0
+
+
+def _cmd_paging(args: argparse.Namespace) -> int:
+    from .io import HDD, estimate_time, paged_io
+
+    tree = _load_tree(args.tree)
+    schedule = get_algorithm(args.algorithm)(tree, args.memory).schedule
+    print(
+        f"schedule from {args.algorithm}; memory {args.memory}, "
+        f"page size {args.page_size}"
+    )
+    print(f"{'policy':<10} {'writes':>8} {'reads':>8} {'units':>8} {'est. time':>10}")
+    for policy in args.policy or ("belady", "lru", "random", "pessimal"):
+        res = paged_io(
+            tree,
+            schedule,
+            args.memory,
+            page_size=args.page_size,
+            policy=policy,
+            seed=args.seed,
+            trace=True,
+        )
+        t = estimate_time(res.events, HDD)
+        print(
+            f"{policy:<10} {res.write_pages:>8} {res.read_pages:>8} "
+            f"{res.write_units:>8} {t.seconds:>9.3f}s"
+        )
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from .algorithms.exact import exact_min_io
+    from .experiments.registry import PAPER_ALGORITHMS
+
+    tree = _load_tree(args.tree)
+    result = exact_min_io(
+        tree, args.memory, max_states=args.max_states, node_limit=args.node_limit
+    )
+    print(f"exact optimum : {result.certificate()}")
+    for name in PAPER_ALGORITHMS:
+        io = get_algorithm(name)(tree, args.memory).io_volume
+        gap = (args.memory + io) / (args.memory + result.io_volume) - 1.0
+        print(f"  {name:<16} io = {io:6d}   gap = {gap:7.2%}")
+    return 0
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from .parallel import simulate_activation, simulate_parallel
+    from .parallel.strategies import priority_from_schedule
+
+    tree = _load_tree(args.tree)
+    order = get_algorithm(args.algorithm)(tree, args.memory).schedule
+    if args.window:
+        report = simulate_activation(
+            tree, args.memory, args.processors, order,
+            window=args.window, bandwidth=args.bandwidth,
+        )
+    else:
+        report = simulate_parallel(
+            tree, args.memory, args.processors,
+            priority_from_schedule(order), bandwidth=args.bandwidth,
+        )
+    print(f"processors  : {args.processors}"
+          + (f"   window : {args.window}" if args.window else ""))
+    print(f"makespan    : {report.makespan:.2f}")
+    print(f"io volume   : {report.io_volume}")
+    print(f"peak memory : {report.peak_memory}")
+    print(f"utilisation : {report.utilisation():.1%}")
+    if args.gantt:
+        from .viz import gantt_chart
+
+        with open(args.gantt, "w") as fh:
+            fh.write(gantt_chart(report, title=f"p={args.processors}, M={args.memory}"))
+        print(f"gantt chart : {args.gantt}")
+    return 0
+
+
+def _cmd_draw(args: argparse.Namespace) -> int:
+    from .viz import tree_chart
+
+    tree = _load_tree(args.tree)
+    schedule = None
+    io = None
+    if args.algorithm and args.memory is not None:
+        traversal = get_algorithm(args.algorithm)(tree, args.memory)
+        schedule = traversal.schedule
+        io = {v: a for v, a in enumerate(traversal.io) if a}
+    svg = tree_chart(tree, schedule=schedule, io=io, title=args.title or "")
+    with open(args.out, "w") as fh:
+        fh.write(svg)
+    print(f"tree diagram written to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+    import time
+
+    from .experiments.runner import ExperimentReport, report_to_text, run_counterexamples, run_figures
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    report = ExperimentReport(scale=args.scale, started_at=time.time())
+    t0 = time.perf_counter()
+    report.counterexamples = run_counterexamples()
+    report.figures = run_figures(args.scale, progress=print)
+    report.elapsed_seconds = time.perf_counter() - t0
+    json_path = outdir / f"experiments_{args.scale}.json"
+    json_path.write_text(report.to_json())
+    print(report_to_text(report))
+    print(f"\nreport written to {json_path}")
+    return 0
+
+
+def _cmd_instance(args: argparse.Namespace) -> int:
+    builder = getattr(paper_instances, args.name)
+    if args.name == "figure_2a":
+        inst = builder(extensions=args.k)
+    elif args.name == "figure_2c":
+        inst = builder(args.k)
+    else:
+        inst = builder()
+    print(f"instance : {inst.name}   (n={inst.tree.n}, M={inst.memory})")
+    for name in args.algorithm or sorted(ALGORITHMS):
+        traversal = get_algorithm(name)(inst.tree, inst.memory)
+        validate(inst.tree, traversal, inst.memory)
+        print(f"  {name:<16} io = {traversal.io_volume}")
+    if inst.witness_io is not None:
+        print(f"  {'paper witness':<16} io = {inst.witness_io}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .datasets.synth import synth_instance
+
+    # Find a small instance that actually has an I/O regime.
+    for seed in range(7, 100):
+        tree = synth_instance(60, seed=seed)
+        bounds = memory_bounds(tree)
+        if bounds.has_io_regime:
+            break
+    memory = bounds.mid
+    print(f"demo tree: n={tree.n}, LB={bounds.lb}, Peak={bounds.peak_incore}, M={memory}")
+    for name in ("PostOrderMinIO", "OptMinMem", "RecExpand", "FullRecExpand"):
+        traversal = get_algorithm(name)(tree, memory)
+        validate(tree, traversal, memory)
+        print(f"  {name:<16} io = {traversal.io_volume:6d}   perf = {traversal.performance(memory):.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ioschedule",
+        description="Out-of-core task-tree scheduling (Marchal et al., 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print model quantities of a tree JSON file")
+    p.add_argument("--tree", required=True)
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("solve", help="schedule a tree with one strategy")
+    p.add_argument("--tree", required=True)
+    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
+    p.add_argument("--show-schedule", action="store_true")
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("figure", help="regenerate an evaluation figure")
+    p.add_argument("--id", required=True, choices=sorted(FIGURES))
+    p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    p.add_argument("--csv", help="also write the curves as CSV")
+    p.add_argument("--svg", help="also render the profile as SVG")
+    p.add_argument("--max-overhead", type=float, default=None)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("paging", help="page-level policy comparison on a tree")
+    p.add_argument("--tree", required=True)
+    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
+    p.add_argument("--page-size", type=int, default=1)
+    p.add_argument("--policy", action="append", help="repeatable; default: the standard four")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_paging)
+
+    p = sub.add_parser("exact", help="exact optimum + heuristic gaps (small trees)")
+    p.add_argument("--tree", required=True)
+    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--max-states", type=int, default=2_000_000)
+    p.add_argument("--node-limit", type=int, default=24)
+    p.set_defaults(func=_cmd_exact)
+
+    p = sub.add_parser("parallel", help="parallel out-of-core simulation")
+    p.add_argument("--tree", required=True)
+    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--processors", type=int, default=2)
+    p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
+    p.add_argument("--window", type=int, default=0, help="activation window (0 = ungated)")
+    p.add_argument("--bandwidth", type=float, default=0.0)
+    p.add_argument("--gantt", help="write the execution timeline as SVG")
+    p.set_defaults(func=_cmd_parallel)
+
+    p = sub.add_parser("draw", help="render a tree as an SVG diagram")
+    p.add_argument("--tree", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--algorithm", choices=_ALL_STRATEGIES)
+    p.add_argument("--memory", type=int)
+    p.add_argument("--title")
+    p.set_defaults(func=_cmd_draw)
+
+    p = sub.add_parser("report", help="run the full evaluation and save the report")
+    p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    p.add_argument("--outdir", default="results")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("instance", help="run strategies on a paper instance")
+    p.add_argument(
+        "--name",
+        required=True,
+        choices=("figure_2a", "figure_2b", "figure_2c", "figure_6", "figure_7"),
+    )
+    p.add_argument("--k", type=int, default=4, help="parameter for the scaled families")
+    p.add_argument("--algorithm", action="append")
+    p.set_defaults(func=_cmd_instance)
+
+    p = sub.add_parser("demo", help="quick end-to-end demonstration")
+    p.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Model substrate: trees, traversals, the FiF simulator and node expansion."""
+
+from .execution import ExecutionReport, MachineModel, execute_traversal
+from .expansion import ExpansionTree, Role, expand_tree
+from .simulator import (
+    InfeasibleSchedule,
+    SimulationResult,
+    StepTrace,
+    fif_io_volume,
+    fif_traversal,
+    schedule_peak_memory,
+    simulate_fif,
+)
+from .traversal import InvalidTraversal, Traversal, is_postorder, validate
+from .tree import TaskTree, TreeError, balanced_binary_tree, chain_tree, star_tree
+
+__all__ = [
+    "TaskTree",
+    "TreeError",
+    "chain_tree",
+    "star_tree",
+    "balanced_binary_tree",
+    "Traversal",
+    "InvalidTraversal",
+    "validate",
+    "is_postorder",
+    "simulate_fif",
+    "fif_io_volume",
+    "fif_traversal",
+    "schedule_peak_memory",
+    "SimulationResult",
+    "StepTrace",
+    "InfeasibleSchedule",
+    "ExpansionTree",
+    "Role",
+    "expand_tree",
+    "MachineModel",
+    "ExecutionReport",
+    "execute_traversal",
+]

@@ -1,0 +1,201 @@
+"""Execution traces: the runtime-facing export of a traversal.
+
+A scheduler that plans ``(sigma, tau)`` hands the runtime an *event
+stream*: execute this task, write that much of this output, read it back
+before its consumer.  This module defines that stream, serialises it as
+JSON-lines (one event per line, the format long-running jobs can append
+to and resume from), and — crucially — provides an independent
+:func:`replay` that re-derives memory usage and I/O volume from the
+events alone, cross-checking the planner.
+
+Event order for a traversal: for each scheduled task, first the ``read``
+events restoring evicted parts of its inputs, then ``execute``, then the
+``write`` event spilling :math:`\\tau(v)` of the fresh output (the paper
+fixes exactly this placement: writes right after production, reads right
+before consumption — any other scheme uses more memory for the same
+volume).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .traversal import Traversal
+from .tree import TaskTree
+
+__all__ = [
+    "ReplayResult",
+    "TraceError",
+    "TraceEvent",
+    "from_jsonl",
+    "replay",
+    "to_jsonl",
+    "traversal_trace",
+]
+
+_KINDS = ("read", "execute", "write")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One runtime step.
+
+    ``amount`` is the transferred volume for read/write events; for
+    ``execute`` it is the execution footprint :math:`\\bar w_v` the
+    runtime must provision.
+    """
+
+    kind: str  # "read" | "execute" | "write"
+    node: int
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.amount < 0:
+            raise ValueError(f"negative amount in {self!r}")
+
+
+def traversal_trace(tree: TaskTree, traversal: Traversal) -> list[TraceEvent]:
+    """The canonical event stream of a traversal (reads, execute, write)."""
+    events: list[TraceEvent] = []
+    io = traversal.io
+    for v in traversal.schedule:
+        for c in tree.children[v]:
+            if io[c]:
+                events.append(TraceEvent("read", c, io[c]))
+        events.append(TraceEvent("execute", v, tree.wbar[v]))
+        if io[v]:
+            events.append(TraceEvent("write", v, io[v]))
+    return events
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One compact JSON object per line: ``{"k":..,"n":..,"a":..}``."""
+    return "\n".join(
+        json.dumps({"k": e.kind, "n": e.node, "a": e.amount}, separators=(",", ":"))
+        for e in events
+    )
+
+
+def from_jsonl(text: str) -> list[TraceEvent]:
+    """Inverse of :func:`to_jsonl`; skips blank lines, validates kinds."""
+    events: list[TraceEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            events.append(TraceEvent(obj["k"], int(obj["n"]), int(obj["a"])))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"bad trace line {lineno}: {line!r}") from exc
+    return events
+
+
+class TraceError(ValueError):
+    """An event stream inconsistent with the tree or the memory bound."""
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of an independent replay of an event stream."""
+
+    io_volume: int
+    peak_memory: int
+    schedule: tuple[int, ...]
+
+
+def replay(
+    tree: TaskTree,
+    events: Sequence[TraceEvent],
+    memory: int | None = None,
+) -> ReplayResult:
+    """Re-execute an event stream, checking every model rule.
+
+    Verifies: every task executes exactly once after its children; reads
+    restore previously written data of a still-active output, before its
+    consumer; writes spill fresh output, at most once, within ``w_v``;
+    and (with ``memory`` given) the resident total never exceeds ``M``.
+
+    This is deliberately written against the *events*, not against the
+    traversal that produced them, so it catches export bugs.
+
+    Raises
+    ------
+    TraceError
+        on the first violated rule.
+    """
+    n = tree.n
+    executed = [False] * n
+    written = [0] * n  # on-disk amount per output
+    resident = [0] * n  # in-memory amount per active output
+    resident_total = 0
+    io_volume = 0
+    peak = 0
+    schedule: list[int] = []
+
+    def check_capacity(need: int, context: str) -> None:
+        nonlocal peak
+        peak = max(peak, need)
+        if memory is not None and need > memory:
+            raise TraceError(f"{context}: {need} > M={memory}")
+
+    for i, ev in enumerate(events):
+        where = f"event {i} ({ev.kind} node {ev.node})"
+        if ev.kind == "execute":
+            v = ev.node
+            if executed[v]:
+                raise TraceError(f"{where}: executed twice")
+            inputs = 0
+            for c in tree.children[v]:
+                if not executed[c]:
+                    raise TraceError(f"{where}: child {c} not executed")
+                if written[c] != 0:
+                    raise TraceError(
+                        f"{where}: child {c} still has {written[c]} on disk"
+                    )
+                inputs += tree.weights[c]
+                resident_total -= resident[c]
+                resident[c] = 0
+            wbar = max(tree.weights[v], inputs)
+            check_capacity(wbar + resident_total, where)
+            executed[v] = True
+            schedule.append(v)
+            resident[v] = tree.weights[v]
+            resident_total += tree.weights[v]
+            check_capacity(resident_total, where)
+        elif ev.kind == "write":
+            v = ev.node
+            if not executed[v]:
+                raise TraceError(f"{where}: output does not exist yet")
+            if ev.amount > resident[v]:
+                raise TraceError(
+                    f"{where}: writes {ev.amount} but only {resident[v]} resident"
+                )
+            resident[v] -= ev.amount
+            resident_total -= ev.amount
+            written[v] += ev.amount
+            io_volume += ev.amount
+        else:  # read
+            v = ev.node
+            if ev.amount > written[v]:
+                raise TraceError(
+                    f"{where}: reads {ev.amount} but only {written[v]} on disk"
+                )
+            p = tree.parents[v]
+            if p == -1 or executed[p]:
+                raise TraceError(f"{where}: consumer already executed (or root)")
+            written[v] -= ev.amount
+            resident[v] += ev.amount
+            resident_total += ev.amount
+            check_capacity(resident_total, where)
+
+    if not all(executed):
+        missing = [v for v in range(n) if not executed[v]]
+        raise TraceError(f"tasks never executed: {missing[:10]}")
+    return ReplayResult(
+        io_volume=io_volume, peak_memory=peak, schedule=tuple(schedule)
+    )

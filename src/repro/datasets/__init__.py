@@ -1,0 +1,86 @@
+"""Workload generators: SYNTH trees, sparse-matrix TREES, paper instances,
+parametric families, amalgamation and the dataset store."""
+
+from .amalgamation import AmalgamationResult, amalgamate
+from .elimination import (
+    elimination_tree,
+    etree_task_tree,
+    factor_column_counts,
+    fundamental_supernodes,
+    multifrontal_weights,
+    supernodal_task_tree,
+)
+from .instances import PaperInstance, figure_2a, figure_2b, figure_2c, figure_6, figure_7
+from .matrices import (
+    ORDERINGS,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    minimum_degree_ordering,
+    permute_symmetric,
+    random_symmetric_pattern,
+    rcm_ordering,
+)
+from .families import (
+    FAMILIES,
+    bouquet,
+    caterpillar,
+    complete_kary,
+    front_weights,
+    powerlaw_weights,
+    preferential_attachment_tree,
+    random_prufer_tree,
+    spider,
+    uniform_weights,
+)
+from .nested_dissection import nested_dissection_ordering
+from .store import StoredTree, load_trees, save_trees
+from .synth import (
+    random_binary_tree,
+    random_plane_tree,
+    random_weights,
+    synth_dataset,
+    synth_instance,
+)
+
+__all__ = [
+    "random_binary_tree",
+    "random_plane_tree",
+    "random_weights",
+    "synth_instance",
+    "synth_dataset",
+    "grid_laplacian_2d",
+    "grid_laplacian_3d",
+    "random_symmetric_pattern",
+    "minimum_degree_ordering",
+    "nested_dissection_ordering",
+    "rcm_ordering",
+    "permute_symmetric",
+    "ORDERINGS",
+    "elimination_tree",
+    "factor_column_counts",
+    "multifrontal_weights",
+    "etree_task_tree",
+    "fundamental_supernodes",
+    "supernodal_task_tree",
+    "PaperInstance",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "figure_6",
+    "figure_7",
+    "AmalgamationResult",
+    "amalgamate",
+    "FAMILIES",
+    "bouquet",
+    "caterpillar",
+    "complete_kary",
+    "front_weights",
+    "powerlaw_weights",
+    "preferential_attachment_tree",
+    "random_prufer_tree",
+    "spider",
+    "uniform_weights",
+    "StoredTree",
+    "load_trees",
+    "save_trees",
+]

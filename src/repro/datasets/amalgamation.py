@@ -1,0 +1,109 @@
+"""Relaxed node amalgamation (MUMPS-style tree coarsening).
+
+Real multifrontal codes do not stop at fundamental supernodes: they
+*relax* amalgamation, absorbing small fronts into their parents even
+when that stores some explicit zeros, because tiny tasks cost more in
+overhead than they save in memory.  At the task-tree level the effect
+is precise:
+
+* the absorbed child's output is **never stored** — it is produced and
+  consumed inside the merged task (its weight disappears from every
+  active set);
+* the merged task inherits the child's children, so its fan-in (and
+  hence ``wbar``) **grows** — the memory price of amalgamation.
+
+This module implements that transformation generically (any tree, a
+weight threshold), returning the coarsened tree plus the node mapping.
+The amalgamation sweep in ``bench_amalgamation.py`` quantifies the
+resulting trade-off: the feasibility bound ``LB`` rises while the tree
+shrinks and scheduling (and its I/O) gets coarser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import TaskTree
+
+__all__ = ["AmalgamationResult", "amalgamate"]
+
+
+@dataclass(frozen=True)
+class AmalgamationResult:
+    """A coarsened tree plus bookkeeping."""
+
+    tree: TaskTree
+    #: old node id -> new node id (absorbed nodes map to their absorber)
+    node_map: tuple[int, ...]
+    absorbed: int
+
+    def group(self, new_node: int) -> list[int]:
+        """The original nodes merged into ``new_node``."""
+        return [v for v, m in enumerate(self.node_map) if m == new_node]
+
+
+def amalgamate(
+    tree: TaskTree,
+    *,
+    absorb_below: int,
+    max_fan_in: int | None = None,
+) -> AmalgamationResult:
+    """Absorb every non-root node with ``weight < absorb_below`` into its parent.
+
+    Parameters
+    ----------
+    absorb_below:
+        nodes whose output is smaller than this are merged upward
+        (``0`` disables and returns an isomorphic tree).
+    max_fan_in:
+        optional cap: skip an absorption that would push the absorber's
+        total input volume above this value (a feasibility guard —
+        unbounded amalgamation can inflate ``wbar`` past any memory).
+
+    Notes
+    -----
+    Processing is bottom-up, so chains of small nodes collapse into one
+    ancestor.  The root is never absorbed.
+    """
+    if absorb_below < 0:
+        raise ValueError("absorb_below must be non-negative")
+    n = tree.n
+    # target[v]: the node that absorbs v (transitively resolved).
+    target = list(range(n))
+
+    def resolve(v: int) -> int:
+        while target[v] != v:
+            target[v] = target[target[v]]  # path compression
+            v = target[v]
+        return v
+
+    # Current input volume per (surviving) node, maintained as we merge.
+    fan_in = [sum(tree.weights[c] for c in kids) for kids in tree.children]
+
+    for v in tree.bottom_up():
+        p = tree.parents[v]
+        if p == -1 or tree.weights[v] >= absorb_below:
+            continue
+        absorber = resolve(p)
+        if max_fan_in is not None:
+            # Absorbing v replaces its output by its (current) inputs.
+            new_fan_in = fan_in[absorber] - tree.weights[v] + fan_in[v]
+            if new_fan_in > max_fan_in:
+                continue
+        fan_in[absorber] = fan_in[absorber] - tree.weights[v] + fan_in[v]
+        target[v] = absorber
+
+    survivors = [v for v in range(n) if resolve(v) == v]
+    new_id = {old: i for i, old in enumerate(survivors)}
+    parents = []
+    weights = []
+    for old in survivors:
+        p = tree.parents[old]
+        parents.append(-1 if p == -1 else new_id[resolve(p)])
+        weights.append(tree.weights[old])
+    node_map = tuple(new_id[resolve(v)] for v in range(n))
+    return AmalgamationResult(
+        tree=TaskTree(parents, weights),
+        node_map=node_map,
+        absorbed=n - len(survivors),
+    )

@@ -1,0 +1,329 @@
+"""Named tree families from the scheduling literature, plus weight models.
+
+The SYNTH/TREES datasets answer "how do the heuristics behave on average
+and on real fronts?"; these parametric families answer "*why*" — each one
+isolates a structural trait that drives I/O behaviour:
+
+* **chains** compose serially (no scheduling freedom at all);
+* **caterpillars** are the postorder worst case (Figure 2(a) is one);
+* **spiders** and **bouquets** stress sibling-ordering decisions
+  (Theorem 3's territory);
+* **complete k-ary trees** maximise simultaneous open subtrees;
+* **Prüfer-uniform** and **preferential-attachment** trees probe shapes
+  the uniform *binary* SYNTH sampler cannot reach.
+
+Weight models mirror the three regimes seen in practice: uniform (the
+paper's SYNTH), heavy-tailed (power law) and *front-like* (weights grow
+toward the root as in multifrontal contribution blocks, where separator
+fronts dominate).
+
+Everything is seeded and pure: same arguments, same tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.tree import TaskTree
+
+__all__ = [
+    "caterpillar",
+    "diamond_caterpillar",
+    "spider",
+    "bouquet",
+    "interleaved_bouquet",
+    "complete_kary",
+    "random_prufer_tree",
+    "preferential_attachment_tree",
+    "uniform_weights",
+    "powerlaw_weights",
+    "front_weights",
+    "FAMILIES",
+]
+
+
+# ----------------------------------------------------------------------
+# shapes
+# ----------------------------------------------------------------------
+def caterpillar(
+    spine: int,
+    *,
+    spine_weight: int = 1,
+    leaf_weight: int = 8,
+    leaves_per_node: int = 1,
+) -> TaskTree:
+    """A spine of ``spine`` nodes, each carrying pendant leaves.
+
+    Node 0 is the root; spine node ``i`` has ``leaves_per_node`` leaf
+    children of weight ``leaf_weight``.  With heavy leaves this family is
+    the canonical postorder-killer (compare Figure 2(a)).
+    """
+    if spine < 1:
+        raise ValueError("caterpillar needs a spine of at least one node")
+    parents: list[int] = []
+    weights: list[int] = []
+    prev = -1
+    for _ in range(spine):
+        v = len(parents)
+        parents.append(prev)
+        weights.append(spine_weight)
+        for _ in range(leaves_per_node):
+            parents.append(v)
+            weights.append(leaf_weight)
+        prev = v
+    return TaskTree(parents, weights)
+
+
+def spider(
+    legs: int,
+    leg_length: int,
+    *,
+    root_weight: int = 1,
+    leg_weight: int | Sequence[int] = 1,
+) -> TaskTree:
+    """A root with ``legs`` chains of ``leg_length`` nodes hanging off it.
+
+    ``leg_weight`` may be one integer or a root-to-leaf weight profile of
+    length ``leg_length`` shared by all legs.
+    """
+    if legs < 1 or leg_length < 1:
+        raise ValueError("spider needs at least one leg of length one")
+    if isinstance(leg_weight, int):
+        profile = [leg_weight] * leg_length
+    else:
+        profile = list(leg_weight)
+        if len(profile) != leg_length:
+            raise ValueError(
+                f"weight profile has {len(profile)} entries for legs of "
+                f"length {leg_length}"
+            )
+    parents = [-1]
+    weights = [root_weight]
+    for _ in range(legs):
+        prev = 0
+        for w in profile:
+            parents.append(prev)
+            weights.append(w)
+            prev = len(parents) - 1
+    return TaskTree(parents, weights)
+
+
+def bouquet(chains: int, chain_length: int, *, weight: int = 1) -> TaskTree:
+    """``chains`` equal chains under one unit root (Figure 2(b)'s shape)."""
+    return spider(chains, chain_length, root_weight=1, leg_weight=weight)
+
+
+def complete_kary(depth: int, k: int, *, weight: int | Callable[[int], int] = 1) -> TaskTree:
+    """The complete ``k``-ary tree of the given depth (depth 0 = one node).
+
+    ``weight`` may be constant or a function of the node's depth.
+    """
+    if k < 1:
+        raise ValueError("arity must be at least 1")
+    parents = [-1]
+    depths = [0]
+    frontier = [0]
+    for d in range(1, depth + 1):
+        new_frontier = []
+        for p in frontier:
+            for _ in range(k):
+                parents.append(p)
+                depths.append(d)
+                new_frontier.append(len(parents) - 1)
+        frontier = new_frontier
+    if callable(weight):
+        weights = [weight(d) for d in depths]
+    else:
+        weights = [weight] * len(parents)
+    return TaskTree(parents, weights)
+
+
+def random_prufer_tree(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    weights: Sequence[int] | None = None,
+) -> TaskTree:
+    """A uniformly random *labelled* tree on ``n`` nodes, rooted at 0.
+
+    Decodes a uniform Prüfer sequence (every labelled tree appears with
+    probability ``1/n^(n-2)``), then orients every edge toward node 0.
+    Unlike the SYNTH sampler this is not restricted to binary shapes.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    if weights is not None and len(weights) != n:
+        raise ValueError("weights are not index-aligned with the nodes")
+    w = list(weights) if weights is not None else [1] * n
+    if n == 1:
+        return TaskTree([-1], w)
+    if n == 2:
+        return TaskTree([-1, 0], w)
+
+    seq = rng.integers(0, n, size=n - 2)
+    degree = np.ones(n, dtype=np.int64)
+    for s in seq:
+        degree[s] += 1
+    # Standard decode: repeatedly join the smallest leaf to the next code.
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    edges: list[tuple[int, int]] = []
+    for s in seq:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, int(s)))
+        degree[s] -= 1
+        if degree[s] == 1:
+            heapq.heappush(leaves, int(s))
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+
+    # Orient toward root 0 by BFS.
+    adj: list[list[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    parents = [-2] * n
+    parents[0] = -1
+    queue = [0]
+    for node in queue:
+        for nb in adj[node]:
+            if parents[nb] == -2:
+                parents[nb] = node
+                queue.append(nb)
+    return TaskTree(parents, w)
+
+
+def preferential_attachment_tree(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    bias: float = 1.0,
+    weights: Sequence[int] | None = None,
+) -> TaskTree:
+    """A random recursive tree with degree-biased attachment.
+
+    Node ``i`` attaches to an existing node with probability proportional
+    to ``(children + 1)^bias``: ``bias = 0`` is the uniform random
+    recursive tree, larger values produce hubs (star-like, shallow),
+    which stresses the sibling-ordering machinery.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    if weights is not None and len(weights) != n:
+        raise ValueError("weights are not index-aligned with the nodes")
+    parents = [-1]
+    child_count = [0]
+    for i in range(1, n):
+        scores = np.array([(c + 1) ** bias for c in child_count], dtype=float)
+        probs = scores / scores.sum()
+        p = int(rng.choice(i, p=probs))
+        parents.append(p)
+        child_count[p] += 1
+        child_count.append(0)
+    w = list(weights) if weights is not None else [1] * n
+    return TaskTree(parents, w)
+
+
+# ----------------------------------------------------------------------
+# weight models
+# ----------------------------------------------------------------------
+def uniform_weights(
+    n: int, rng: np.random.Generator, *, low: int = 1, high: int = 100
+) -> list[int]:
+    """The paper's SYNTH model: integer weights uniform on [low, high]."""
+    return [int(x) for x in rng.integers(low, high + 1, size=n)]
+
+
+def powerlaw_weights(
+    n: int, rng: np.random.Generator, *, alpha: float = 2.0, w_min: int = 1,
+    w_max: int = 10_000,
+) -> list[int]:
+    """Heavy-tailed weights: ``P(W > w) ~ w^(1-alpha)``, clamped to [w_min, w_max].
+
+    Multifrontal front-size distributions are famously heavy-tailed; this
+    model stresses the heuristics with a few dominant outputs.
+    """
+    if alpha <= 1.0:
+        raise ValueError("alpha must exceed 1 for a finite-mean tail")
+    u = rng.random(size=n)
+    raw = w_min * (1.0 - u) ** (-1.0 / (alpha - 1.0))
+    return [int(min(max(w_min, round(x)), w_max)) for x in raw]
+
+
+def front_weights(tree: TaskTree, *, base: int = 1) -> list[int]:
+    """Multifrontal-like weights: grow quadratically with subtree height.
+
+    A node of height ``h`` (leaves have height 0) gets ``base*(h+1)^2`` —
+    the contribution-block scaling of nested-dissection fronts, where
+    separator size grows with subtree extent.
+    """
+    height = [0] * tree.n
+    for v in tree.bottom_up():
+        for c in tree.children[v]:
+            height[v] = max(height[v], height[c] + 1)
+    return [base * (h + 1) ** 2 for h in height]
+
+
+def _interleaved_profile(k: int) -> list[int]:
+    """Figure 2(c)'s root-to-leaf chain weights: 2k,3k,2k-1,3k+1,...,k,4k."""
+    profile: list[int] = []
+    for i in range(k + 1):
+        profile.append(2 * k - i)
+        profile.append(3 * k + i)
+    return profile
+
+
+def diamond_caterpillar(rng: np.random.Generator) -> TaskTree:
+    """A Figure 2(a)-style caterpillar (heavy leaves under light joins).
+
+    The one family guaranteed to have an I/O regime *and* to punish
+    postorders: every leaf weighs ≈ M while the internal joins weigh 1.
+    """
+    from .instances import figure_2a
+
+    memory = 2 * int(rng.integers(5, 17))  # even M in [10, 32]
+    extensions = int(rng.integers(0, 4))
+    return figure_2a(memory=memory, extensions=extensions).tree
+
+
+def interleaved_bouquet(rng: np.random.Generator) -> TaskTree:
+    """Chains with Figure 2(c)'s alternating weights under one root."""
+    k = int(rng.integers(3, 8))
+    legs = int(rng.integers(2, 5))
+    return spider(legs, 2 * (k + 1), root_weight=1,
+                  leg_weight=_interleaved_profile(k))
+
+
+#: named zero-config instances for benches: name -> builder(rng) -> TaskTree
+#:
+#: A structural note the family ablation bench relies on: an I/O regime
+#: (``Peak_incore > LB``) needs *accumulation* — deep, low-arity shapes
+#: whose weights are not monotone toward the root.  Hub-like trees
+#: (``hub``, ``prufer`` at small n) and monotone-front trees
+#: (``frontlike``) have ``LB == Peak``: their single biggest fan-in
+#: dominates, so they never perform I/O beyond feasibility.  They remain
+#: in the registry as validity/stress probes; the regime-bearing
+#: families are ``caterpillar`` (Fig 2(a) trait), ``bouquet`` (Fig 2(c)
+#: trait), ``kary`` and ``spider``.
+FAMILIES: dict[str, Callable[[np.random.Generator], TaskTree]] = {
+    "caterpillar": diamond_caterpillar,
+    "spider": lambda rng: spider(
+        8, 10, leg_weight=uniform_weights(10, rng, low=1, high=20)
+    ),
+    "bouquet": interleaved_bouquet,
+    "kary": lambda rng: complete_kary(4, 3, weight=lambda d: 2 ** (4 - d)),
+    "prufer": lambda rng: random_prufer_tree(
+        80, rng, weights=uniform_weights(80, rng)
+    ),
+    "hub": lambda rng: preferential_attachment_tree(
+        80, rng, bias=1.5, weights=uniform_weights(80, rng)
+    ),
+    "frontlike": lambda rng: (
+        lambda t: t.with_weights(front_weights(t))
+    )(random_prufer_tree(80, rng)),
+}

@@ -1,0 +1,253 @@
+"""The paper's hand-crafted instances (Figures 2, 6 and 7).
+
+Each builder returns a :class:`PaperInstance` carrying the tree, the
+memory bound, and — where the paper exhibits one — a *witness schedule*
+achieving the good I/O volume, so tests can verify the claimed numbers
+exactly rather than trusting the narrative:
+
+* :func:`figure_2a` — PostOrderMinIO is not competitive: the witness does
+  1 I/O while every postorder pays ≥ M/2 - 1 per leaf beyond the first.
+* :func:`figure_2b` — OptMinMem is not I/O-optimal: minimum peak 8 forces
+  4 I/Os where a peak-9 schedule pays 3 (M = 6).
+* :func:`figure_2c` — the scaled family: OptMinMem pays ~k(k+1) I/Os, the
+  witness 2k (M = 4k), so the ratio grows linearly.
+* :func:`figure_6`  — FullRecExpand reaches the optimum (3 I/Os) where
+  OptMinMem and the postorders pay ≥ 4 (M = 10).
+* :func:`figure_7`  — the reverse: the best postorder is optimal (3) while
+  OptMinMem *and* FullRecExpand pay 4 (M = 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tree import TaskTree
+
+__all__ = [
+    "PaperInstance",
+    "figure_2a",
+    "figure_2b",
+    "figure_2c",
+    "figure_6",
+    "figure_7",
+]
+
+
+@dataclass(frozen=True)
+class PaperInstance:
+    """A named instance: tree, memory bound and optional witness schedule."""
+
+    name: str
+    tree: TaskTree
+    memory: int
+    #: a schedule demonstrating the paper's "good" I/O volume (or None)
+    witness_schedule: tuple[int, ...] | None = None
+    #: the I/O volume the witness achieves (checked in tests)
+    witness_io: int | None = None
+
+
+class _Builder:
+    """Incremental tree builder keeping insertion-order ids."""
+
+    def __init__(self) -> None:
+        self.weights: list[int] = []
+        self.parents: list[int] = []
+
+    def node(self, weight: int, *children: int) -> int:
+        v = len(self.weights)
+        self.weights.append(weight)
+        self.parents.append(-1)
+        for c in children:
+            self.parents[c] = v
+        return v
+
+    def tree(self, root: int) -> TaskTree:
+        assert self.parents[root] == -1
+        return TaskTree(self.parents, self.weights)
+
+
+def figure_2a(memory: int = 16, extensions: int = 0) -> PaperInstance:
+    """The caterpillar of Figure 2(a); ``memory`` must be even and ≥ 8.
+
+    Structure (children drawn below their parent, weights in nodes)::
+
+                         root(1)
+                       /        \\
+                  M/2             M/2
+                   |               |
+                   1              M-1
+                 /    \\
+              M/2      M/2
+               |        |
+               1       M-1
+             /   \\
+           M/2    M/2
+            |      |
+            1      M
+          /   \\
+        M/2    M/2
+         |      |
+         M      M
+
+    Every pair of leaves has a least common ancestor with two ``M/2``
+    children and all leaves weigh ≥ M-1, so a postorder pays ≥ M/2 - 1
+    per leaf after the first; the witness pays exactly 1 I/O in total.
+    ``extensions`` appends the paper's growth step (new unit root, an
+    ``M/2`` parent over the old root on one side and an ``M/2`` over a new
+    ``M-1`` leaf on the other), keeping the optimal I/O at 1.
+    """
+    if memory < 8 or memory % 2:
+        raise ValueError("figure 2(a) needs an even memory bound >= 8")
+    h = memory // 2
+    b = _Builder()
+    # Innermost diamond over the two weight-M leaves.
+    leaf1 = b.node(memory)
+    join1 = b.node(1, leaf1)
+    leaf2 = b.node(memory)
+    join2 = b.node(1, leaf2)
+    mid_r = b.node(h, join2)
+    mid_l = b.node(h, join1)
+    top = b.node(1, mid_l, mid_r)
+    witness = [leaf1, join1, leaf2, join2, mid_r, mid_l, top]
+
+    # Two caterpillar levels with an (M-1) leaf on the right.
+    for _ in range(2):
+        leaf = b.node(memory - 1)
+        right = b.node(h, leaf)
+        left = b.node(h, top)
+        top = b.node(1, left, right)
+        witness += [leaf, right, left, top]
+    inst_tree_root = top
+
+    for _ in range(extensions):
+        left = b.node(h, inst_tree_root)
+        leaf = b.node(memory - 1)
+        right = b.node(h, leaf)
+        inst_tree_root = b.node(1, left, right)
+        witness += [leaf, right, left, inst_tree_root]
+
+    return PaperInstance(
+        name=f"figure_2a(M={memory}, ext={extensions})",
+        tree=b.tree(inst_tree_root),
+        memory=memory,
+        witness_schedule=tuple(witness),
+        witness_io=1,
+    )
+
+
+def figure_2b() -> PaperInstance:
+    """Figure 2(b): two 4-node chains under a unit root, M = 6.
+
+    Chain weights root→leaf: 3, 5, 2, 6.  Executing one chain after the
+    other peaks at 9 with 3 I/Os; the minimum peak is 8 but then FiF pays
+    4 I/Os.
+    """
+    b = _Builder()
+
+    def chain() -> int:
+        leaf = b.node(6)
+        n2 = b.node(2, leaf)
+        n5 = b.node(5, n2)
+        return b.node(3, n5)
+
+    left = chain()
+    right = chain()
+    root = b.node(1, left, right)
+    tree = b.tree(root)
+    # Witness: finish the left chain (nodes 0..3), then the right (4..7).
+    witness = tuple(range(8)) + (root,)
+    return PaperInstance(
+        name="figure_2b",
+        tree=tree,
+        memory=6,
+        witness_schedule=witness,
+        witness_io=3,
+    )
+
+
+def figure_2c(k: int) -> PaperInstance:
+    """Figure 2(c): two interleaved chains of length 2k+2, M = 4k.
+
+    Each chain's weights, root→leaf, interleave ``2k, 2k-1, ..., k`` with
+    ``3k, 3k+1, ..., 4k``.  Chain-after-chain costs 2k I/Os (the witness);
+    the minimum-peak schedule alternates chains and pays ~k(k+1).
+    """
+    if k < 1:
+        raise ValueError("figure 2(c) needs k >= 1")
+    weights_top_down: list[int] = []
+    for i in range(k + 1):
+        weights_top_down.append(2 * k - i)
+        weights_top_down.append(3 * k + i)
+
+    b = _Builder()
+
+    def chain() -> int:
+        top = -1
+        for w in reversed(weights_top_down):
+            top = b.node(w) if top == -1 else b.node(w, top)
+        return top
+
+    left = chain()
+    right = chain()
+    root = b.node(1, left, right)
+    tree = b.tree(root)
+    m = 2 * k + 2  # chain length
+    witness = tuple(range(2 * m)) + (root,)
+    return PaperInstance(
+        name=f"figure_2c(k={k})",
+        tree=tree,
+        memory=4 * k,
+        witness_schedule=witness,
+        witness_io=2 * k,
+    )
+
+
+def figure_6() -> PaperInstance:
+    """Appendix A, Figure 6 (M = 10): FullRecExpand finds the optimum, 3 I/Os.
+
+    Left branch root→leaf: 4, 8, 2 (node *a*), 9; right: 6, 4 (node *b*),
+    10; unit root.  OptMinMem's peak-12 schedule pays 4 I/Os (2 on *a*,
+    2 on *b*); writing 3 units of *b* is optimal.
+    """
+    b = _Builder()
+    leaf_l = b.node(9)
+    a = b.node(2, leaf_l)
+    l2 = b.node(8, a)
+    l1 = b.node(4, l2)
+    leaf_r = b.node(10)
+    node_b = b.node(4, leaf_r)
+    r1 = b.node(6, node_b)
+    root = b.node(1, l1, r1)
+    witness = (leaf_r, node_b, leaf_l, a, l2, l1, r1, root)
+    return PaperInstance(
+        name="figure_6",
+        tree=b.tree(root),
+        memory=10,
+        witness_schedule=witness,
+        witness_io=3,
+    )
+
+
+def figure_7() -> PaperInstance:
+    """Appendix A, Figure 7 (M = 7): the postorder wins with 3 I/Os.
+
+    Node *c* (weight 3) consumes *a* (weight 2, over a weight-7 leaf) and
+    a weight-3 leaf; node *b* (weight 4) consumes a weight-7 leaf; the
+    unit root consumes *c* and *b*.  OptMinMem and FullRecExpand pay 4.
+    """
+    b = _Builder()
+    leaf_a = b.node(7)
+    a = b.node(2, leaf_a)
+    leaf3 = b.node(3)
+    c = b.node(3, a, leaf3)
+    leaf_b = b.node(7)
+    node_b = b.node(4, leaf_b)
+    root = b.node(1, c, node_b)
+    witness = (leaf_a, a, leaf3, c, leaf_b, node_b, root)
+    return PaperInstance(
+        name="figure_7",
+        tree=b.tree(root),
+        memory=7,
+        witness_schedule=witness,
+        witness_io=3,
+    )

@@ -1,0 +1,92 @@
+"""Persist and reload tree collections (the dataset exchange format).
+
+The paper-scale datasets take minutes to build (symbolic analysis of
+many matrices); this module caches them as JSON-lines — one tree per
+line, each a self-contained object with its metadata — so experiment
+re-runs and external tools can share exactly the same instances.
+
+Format (one per line)::
+
+    {"name": "grid2d-16/nd", "parents": [...], "weights": [...],
+     "meta": {...}}
+
+``load_trees`` streams; a truncated or hand-edited file fails loudly
+with the offending line number.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..core.tree import TaskTree
+
+__all__ = ["StoredTree", "save_trees", "load_trees", "iter_trees"]
+
+
+@dataclass(frozen=True)
+class StoredTree:
+    """A tree plus its provenance metadata."""
+
+    name: str
+    tree: TaskTree
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "parents": list(self.tree.parents),
+            "weights": list(self.tree.weights),
+            "meta": dict(self.meta),
+        }
+        return json.dumps(payload, separators=(",", ":"))
+
+    @staticmethod
+    def from_json(line: str) -> "StoredTree":
+        obj = json.loads(line)
+        return StoredTree(
+            name=str(obj["name"]),
+            tree=TaskTree(obj["parents"], obj["weights"]),
+            meta=obj.get("meta", {}),
+        )
+
+
+def save_trees(
+    path: str | pathlib.Path,
+    trees: Iterable[StoredTree | TaskTree],
+) -> int:
+    """Write a collection as JSON-lines; returns the number written.
+
+    Bare :class:`TaskTree` items are wrapped with an index-based name.
+    """
+    path = pathlib.Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for item in trees:
+            if isinstance(item, TaskTree):
+                item = StoredTree(name=f"tree-{count}", tree=item)
+            fh.write(item.to_json())
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def iter_trees(path: str | pathlib.Path) -> Iterator[StoredTree]:
+    """Stream a JSON-lines collection, validating every line."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield StoredTree.from_json(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad tree record") from exc
+
+
+def load_trees(path: str | pathlib.Path) -> list[StoredTree]:
+    """The whole collection as a list (see :func:`iter_trees` to stream)."""
+    return list(iter_trees(path))

@@ -1,0 +1,163 @@
+"""Synthetic tree generators (the paper's SYNTH dataset).
+
+The paper draws 330 binary trees of 3 000 nodes "uniformly at random among
+all binary trees" (via Catalan-number counting, cf. Mäkinen's survey) and
+gives every task an output size uniform in ``[1, 100]``.
+
+Uniform sampling over the :math:`C_n` binary trees is done here with
+**Rémy's algorithm** — ``O(n)`` time, no big-integer arithmetic: grow a
+uniform *full* binary tree with ``n`` internal nodes by repeatedly
+grafting a new (internal, leaf) pair onto a uniformly-chosen vertex and
+side, then delete the leaves.  Deleting the leaves of a full binary tree
+with ``n`` internal nodes is a bijection onto binary trees with ``n``
+nodes, so uniformity carries over.
+
+A second generator samples uniform *plane trees* (unbounded arity, also
+Catalan-counted) through the cycle lemma, for workloads with high-degree
+joins.  Both are deterministic given their ``numpy`` random generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tree import TaskTree
+
+__all__ = [
+    "random_binary_tree",
+    "random_plane_tree",
+    "random_weights",
+    "synth_instance",
+    "synth_dataset",
+]
+
+
+def random_binary_tree(n: int, rng: np.random.Generator) -> TaskTree:
+    """A uniform random binary tree with ``n`` unit-weight nodes (Rémy).
+
+    "Binary" in the Catalan sense: each node has an optional left and an
+    optional right child (the paper's SYNTH trees).  Left/right only
+    matters for uniform counting; the returned task tree keeps parent
+    links only.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+
+    # Full binary tree with n internal vertices and n+1 leaves.
+    # Vertex arrays; vertex 0 starts as the lone leaf/root.
+    size = 2 * n + 1
+    parent = np.full(size, -1, dtype=np.int64)
+    internal = np.zeros(size, dtype=bool)
+    count = 1  # vertices so far
+    root = 0
+
+    # Random choices drawn in bulk: vertex pick is uniform over the current
+    # 2k-1 vertices at step k, the side doubles the range.
+    picks = rng.integers(0, 2 * np.arange(1, n + 1) - 1, dtype=np.int64)
+    sides = rng.integers(0, 2, size=n)
+
+    for k in range(n):
+        v = int(picks[k])
+        m = count  # new internal vertex
+        f = count + 1  # new leaf
+        count += 2
+        internal[m] = True
+
+        p = parent[v]
+        parent[m] = p
+        if p == -1:
+            root = m
+        # (child pointers are irrelevant for the in-tree; sides[k] only
+        # re-randomises which of v/f is the left child, which does not
+        # change parent links — kept for faithfulness to Rémy's process)
+        _ = sides[k]
+        parent[v] = m
+        parent[f] = m
+
+    # Delete leaves: keep internal vertices, re-index.
+    ids = np.cumsum(internal) - 1
+    parents: list[int] = []
+    for v in range(count):
+        if not internal[v]:
+            continue
+        p = parent[v]
+        parents.append(-1 if p == -1 else int(ids[p]))
+    return TaskTree(parents, [1] * n)
+
+
+def random_plane_tree(n: int, rng: np.random.Generator) -> TaskTree:
+    """A uniform random plane (ordered, any-arity) tree with ``n`` nodes.
+
+    Via the cycle lemma: a uniform arrangement of ``n`` up-steps and
+    ``n-1`` down-steps has exactly one rotation that is a Łukasiewicz
+    excursion; reading it as a depth-first walk gives a uniform plane tree.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    if n == 1:
+        return TaskTree([-1], [1])
+
+    m = n - 1
+    steps = np.concatenate([np.ones(m + 1, dtype=np.int64), -np.ones(m, dtype=np.int64)])
+    rng.shuffle(steps)
+    # The unique good rotation starts right after the *last* position where
+    # the prefix sum attains its minimum.
+    prefix = np.cumsum(steps)
+    start = len(steps) - int(np.argmin(prefix[::-1]))
+    rotated = np.concatenate([steps[start:], steps[:start]])
+    # rotated[0] == +1; drop it and read the Dyck word as a DFS walk.
+    word = rotated[1:]
+    parents = [-1]
+    stack = [0]
+    next_id = 1
+    for s in word:
+        if s == 1:  # descend into a new child
+            parents.append(stack[-1])
+            stack.append(next_id)
+            next_id += 1
+        else:  # climb back up
+            stack.pop()
+    assert next_id == n
+    return TaskTree(parents, [1] * n)
+
+
+def random_weights(
+    n: int, rng: np.random.Generator, low: int = 1, high: int = 100
+) -> list[int]:
+    """Independent uniform integer output sizes in ``[low, high]``."""
+    if low < 0 or high < low:
+        raise ValueError(f"bad weight range [{low}, {high}]")
+    return [int(w) for w in rng.integers(low, high + 1, size=n)]
+
+
+def synth_instance(
+    n_nodes: int,
+    seed: int,
+    *,
+    weight_range: tuple[int, int] = (1, 100),
+    shape: str = "binary",
+) -> TaskTree:
+    """One SYNTH tree: uniform shape + uniform integer weights."""
+    rng = np.random.default_rng(seed)
+    if shape == "binary":
+        tree = random_binary_tree(n_nodes, rng)
+    elif shape == "plane":
+        tree = random_plane_tree(n_nodes, rng)
+    else:
+        raise ValueError(f"unknown shape {shape!r}")
+    return tree.with_weights(random_weights(n_nodes, rng, *weight_range))
+
+
+def synth_dataset(
+    num_trees: int = 330,
+    n_nodes: int = 3000,
+    *,
+    seed: int = 20170208,  # the paper's HAL submission date
+    weight_range: tuple[int, int] = (1, 100),
+    shape: str = "binary",
+) -> list[TaskTree]:
+    """The SYNTH dataset: ``num_trees`` independent seeded instances."""
+    return [
+        synth_instance(n_nodes, seed + i, weight_range=weight_range, shape=shape)
+        for i in range(num_trees)
+    ]

@@ -1,0 +1,43 @@
+"""Experiment harness: datasets at scale, algorithm registry, figure runners."""
+
+from .datasets import SCALES, Scale, build_synth, build_trees, current_scale
+from .figures import (
+    FIGURES,
+    FigureResult,
+    figure4,
+    figure5,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    run_comparison,
+)
+from .registry import ALGORITHMS, ORACLES, PAPER_ALGORITHMS, get_algorithm
+from .robustness import SeedSweep, seed_sweep
+from .runner import ExperimentReport, report_to_text, run_all
+
+__all__ = [
+    "ORACLES",
+    "SeedSweep",
+    "seed_sweep",
+    "ExperimentReport",
+    "report_to_text",
+    "run_all",
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "build_synth",
+    "build_trees",
+    "ALGORITHMS",
+    "PAPER_ALGORITHMS",
+    "get_algorithm",
+    "FigureResult",
+    "run_comparison",
+    "figure4",
+    "figure5",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "FIGURES",
+]

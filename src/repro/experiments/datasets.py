@@ -1,0 +1,123 @@
+"""Assembly of the two evaluation datasets at configurable scales.
+
+* **SYNTH** — uniform random binary trees with uniform weights
+  (Section 6.1: 330 trees × 3 000 nodes, weights in [1, 100]).
+* **TREES** — multifrontal task trees from sparse-matrix symbolic
+  analysis.  The paper uses 329 UFL-collection elimination trees
+  (2 000–40 000 nodes) and keeps the 133 with ``Peak_incore > LB``; we
+  generate structurally comparable matrices (grid Laplacians under several
+  orderings, random SPD patterns) and apply the same filter.
+
+Pure-Python heuristics cannot sweep the paper's full sizes in reasonable
+wall-clock time, so each dataset comes in three scales; ``small`` is the
+default everywhere and preserves the qualitative comparisons.  Scale can
+also be picked via the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.bounds import memory_bounds
+from ..core.tree import TaskTree
+from ..datasets.elimination import etree_task_tree, supernodal_task_tree
+from ..datasets.matrices import (
+    ORDERINGS,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    permute_symmetric,
+    random_symmetric_pattern,
+)
+from ..datasets.synth import synth_dataset
+
+__all__ = ["Scale", "SCALES", "current_scale", "build_synth", "build_trees"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dataset sizing knobs."""
+
+    name: str
+    synth_trees: int
+    synth_nodes: int
+    grid2d_sides: tuple[int, ...]
+    grid3d_sides: tuple[int, ...]
+    random_sizes: tuple[int, ...]
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale("tiny", 12, 120, (6, 8), (3,), (60,)),
+    "small": Scale("small", 60, 600, (8, 10, 12, 14, 16, 20), (4, 5, 6), (100, 200, 300)),
+    "paper": Scale(
+        "paper",
+        330,
+        3000,
+        (16, 20, 24, 28, 32, 40, 48, 56),
+        (6, 8, 10, 12),
+        (400, 800, 1600, 3200),
+    ),
+}
+
+
+def current_scale(default: str = "small") -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (or the default)."""
+    name = os.environ.get("REPRO_SCALE", default)
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; available: {sorted(SCALES)}") from None
+
+
+def build_synth(scale: Scale | str = "small", *, seed: int = 20170208) -> list[TaskTree]:
+    """The SYNTH dataset at the given scale."""
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    return synth_dataset(scale.synth_trees, scale.synth_nodes, seed=seed)
+
+
+def build_trees(
+    scale: Scale | str = "small",
+    *,
+    seed: int = 20170208,
+    keep_all: bool = False,
+) -> list[TaskTree]:
+    """The TREES dataset: multifrontal task trees of synthetic matrices.
+
+    One tree per (matrix, ordering) combination; unless ``keep_all``, the
+    paper's filter drops trees whose in-core peak equals the feasibility
+    bound (no I/O regime).
+    """
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    rng = np.random.default_rng(seed)
+
+    matrices = []
+    for side in scale.grid2d_sides:
+        matrices.append((f"grid2d-{side}", grid_laplacian_2d(side, side)))
+        matrices.append(
+            (f"grid2d-{side}x{side + side // 2}", grid_laplacian_2d(side, side + side // 2))
+        )
+    for side in scale.grid3d_sides:
+        matrices.append((f"grid3d-{side}", grid_laplacian_3d(side, side, side)))
+    for n in scale.random_sizes:
+        matrices.append(
+            (f"rand-{n}", random_symmetric_pattern(n, avg_degree=4.0, rng=rng))
+        )
+
+    trees: list[TaskTree] = []
+    for _, matrix in matrices:
+        for name in ("natural", "rcm", "mindeg", "random"):
+            perm = ORDERINGS[name](matrix, rng)
+            permuted = permute_symmetric(matrix, perm)
+            # Both granularities occur in practice: one task per factor
+            # column (nodal) and one per fundamental supernode (MUMPS-like).
+            for builder in (etree_task_tree, supernodal_task_tree):
+                tree = builder(permuted)
+                if tree.n < 3:
+                    continue
+                if keep_all or memory_bounds(tree).has_io_regime:
+                    trees.append(tree)
+    return trees

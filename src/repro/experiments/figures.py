@@ -1,0 +1,206 @@
+"""Regeneration of every evaluation figure of the paper.
+
+One function per figure (4, 5, 8, 9, 10, 11).  Each runs the competing
+strategies over the matching dataset and memory bound, validates every
+traversal, and packages the results as a
+:class:`~repro.analysis.profiles.PerformanceProfile` plus the per-instance
+raw numbers, so benchmarks and EXPERIMENTS.md can print the same rows the
+paper plots.
+
+The counterexample figures (2a–2c, 6, 7) are exact constructions; they
+live in :mod:`repro.datasets.instances` and are exercised by the
+dedicated benchmark/test files rather than here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..analysis.bounds import memory_bounds
+from ..analysis.metrics import performance
+from ..analysis.profiles import PerformanceProfile, build_profile
+from ..core.traversal import validate
+from ..core.tree import TaskTree
+from .datasets import Scale, build_synth, build_trees, current_scale
+from .registry import get_algorithm
+
+__all__ = [
+    "FigureResult",
+    "run_comparison",
+    "figure4",
+    "figure5",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """Everything one evaluation figure needs."""
+
+    name: str
+    bound: str  # which memory bound: "M1" | "Mmid" | "M2"
+    algorithms: tuple[str, ...]
+    profile: PerformanceProfile
+    #: io_volumes[alg][i] on instance i
+    io_volumes: Mapping[str, tuple[int, ...]]
+    memories: tuple[int, ...]
+    instance_sizes: tuple[int, ...]
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.memories)
+
+    def differing_subset(self) -> "FigureResult":
+        """Restrict to instances where the algorithms disagree (Fig 5 right)."""
+        keep = [
+            i
+            for i in range(self.num_instances)
+            if len({self.io_volumes[a][i] for a in self.algorithms}) > 1
+        ]
+        if not keep:
+            raise ValueError("the algorithms agree on every instance")
+        io = {a: tuple(self.io_volumes[a][i] for i in keep) for a in self.algorithms}
+        memories = tuple(self.memories[i] for i in keep)
+        perfs = {
+            a: [performance(m, k) for m, k in zip(memories, io[a])]
+            for a in self.algorithms
+        }
+        return FigureResult(
+            name=self.name + "-differing",
+            bound=self.bound,
+            algorithms=self.algorithms,
+            profile=build_profile(perfs),
+            io_volumes=io,
+            memories=memories,
+            instance_sizes=tuple(self.instance_sizes[i] for i in keep),
+        )
+
+    def summary(self) -> str:
+        """A compact text block: per-algorithm overhead statistics."""
+        lines = [
+            f"{self.name}: {self.num_instances} instances, bound {self.bound}, "
+            f"algorithms {', '.join(self.algorithms)}"
+        ]
+        perfs = self.profile.performances
+        best = [
+            min(perfs[a][i] for a in self.algorithms)
+            for i in range(self.num_instances)
+        ]
+        for a in self.algorithms:
+            curve = self.profile.curve(a)
+            wins = sum(
+                1 for i in range(self.num_instances) if perfs[a][i] <= best[i] + 1e-12
+            )
+            lines.append(
+                f"  {a:<16} best on {wins / self.num_instances:6.1%}   "
+                f"within 5%: {curve.fraction_at(0.05):6.1%}   "
+                f"within 50%: {curve.fraction_at(0.50):6.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_comparison(
+    name: str,
+    trees: Sequence[TaskTree],
+    bound: str,
+    algorithms: Sequence[str],
+    *,
+    check: bool = True,
+) -> FigureResult:
+    """Run ``algorithms`` on every tree at the named memory bound."""
+    io: dict[str, list[int]] = {a: [] for a in algorithms}
+    memories: list[int] = []
+    sizes: list[int] = []
+    for tree in trees:
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            continue
+        memory = bounds.grid()[bound]
+        memories.append(memory)
+        sizes.append(tree.n)
+        for a in algorithms:
+            traversal = get_algorithm(a)(tree, memory)
+            if check:
+                validate(tree, traversal, memory)
+            io[a].append(traversal.io_volume)
+    if not memories:
+        raise ValueError(f"{name}: no instance has an I/O regime")
+    perfs = {
+        a: [performance(m, k) for m, k in zip(memories, io[a])] for a in algorithms
+    }
+    return FigureResult(
+        name=name,
+        bound=bound,
+        algorithms=tuple(algorithms),
+        profile=build_profile(perfs),
+        io_volumes={a: tuple(v) for a, v in io.items()},
+        memories=tuple(memories),
+        instance_sizes=tuple(sizes),
+    )
+
+
+def _synth_algorithms(include_full: bool) -> tuple[str, ...]:
+    if include_full:
+        return ("OptMinMem", "RecExpand", "PostOrderMinIO", "FullRecExpand")
+    return ("OptMinMem", "RecExpand", "PostOrderMinIO")
+
+
+_TREES_ALGORITHMS = ("OptMinMem", "RecExpand", "PostOrderMinIO")
+
+
+def figure4(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
+    """Figure 4: SYNTH dataset at the mid memory bound (all four heuristics)."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison(
+        "figure4-synth-Mmid", build_synth(scale), "Mmid", _synth_algorithms(include_full)
+    )
+
+
+def figure5(scale: Scale | str | None = None) -> FigureResult:
+    """Figure 5: TREES dataset at the mid memory bound (three heuristics)."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison("figure5-trees-Mmid", build_trees(scale), "Mmid", _TREES_ALGORITHMS)
+
+
+def figure8(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
+    """Figure 8: SYNTH at the minimal feasible memory ``M1 = LB``."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison(
+        "figure8-synth-M1", build_synth(scale), "M1", _synth_algorithms(include_full)
+    )
+
+
+def figure9(scale: Scale | str | None = None) -> FigureResult:
+    """Figure 9: TREES at ``M1 = LB``."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison("figure9-trees-M1", build_trees(scale), "M1", _TREES_ALGORITHMS)
+
+
+def figure10(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
+    """Figure 10: SYNTH at ``M2 = Peak_incore - 1``."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison(
+        "figure10-synth-M2", build_synth(scale), "M2", _synth_algorithms(include_full)
+    )
+
+
+def figure11(scale: Scale | str | None = None) -> FigureResult:
+    """Figure 11: TREES at ``M2 = Peak_incore - 1``."""
+    scale = current_scale() if scale is None else scale
+    return run_comparison("figure11-trees-M2", build_trees(scale), "M2", _TREES_ALGORITHMS)
+
+
+#: figure id → builder, for the CLI and the benchmark harness
+FIGURES = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig8": figure8,
+    "fig9": figure9,
+    "fig10": figure10,
+    "fig11": figure11,
+}

@@ -1,0 +1,127 @@
+"""Seed-robustness of the evaluation: are the figures seed-luck?
+
+The paper reports one dataset draw.  This module re-runs a figure's
+comparison across several dataset seeds and quantifies the spread:
+
+* per-algorithm win fraction and mean overhead, with bootstrap CIs over
+  seeds;
+* pairwise significance (sign-flip permutation test) on the pooled
+  per-instance performances.
+
+If the conclusions (RecExpand ≥ OptMinMem ≥ PostOrderMinIO) hold with
+tight CIs across seeds, the reproduction's claims do not hinge on the
+particular random trees drawn — the robustness statement EXPERIMENTS.md
+cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..analysis.statistics import bootstrap_ci, pairwise_comparison
+from .datasets import build_synth, build_trees
+from .figures import run_comparison
+
+__all__ = ["SeedSweep", "seed_sweep"]
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """Aggregated results of one figure comparison across dataset seeds."""
+
+    dataset: str
+    bound: str
+    algorithms: tuple[str, ...]
+    seeds: tuple[int, ...]
+    #: per algorithm: list of win fractions, one per seed
+    win_fractions: Mapping[str, tuple[float, ...]]
+    #: per algorithm: list of mean overheads vs per-instance best, per seed
+    mean_overheads: Mapping[str, tuple[float, ...]]
+    #: pooled per-instance performances across all seeds
+    pooled_performances: Mapping[str, tuple[float, ...]]
+
+    def win_ci(self, algorithm: str, **kwargs: Any) -> tuple[float, float]:
+        """Bootstrap CI of the win fraction across seeds."""
+        return bootstrap_ci(self.win_fractions[algorithm], **kwargs)
+
+    def overhead_ci(self, algorithm: str, **kwargs: Any) -> tuple[float, float]:
+        """Bootstrap CI of the mean overhead across seeds."""
+        return bootstrap_ci(self.mean_overheads[algorithm], **kwargs)
+
+    def significance(self, **kwargs: Any):
+        """Pairwise permutation/Wilcoxon tests on pooled performances."""
+        return pairwise_comparison(
+            {a: list(v) for a, v in self.pooled_performances.items()}, **kwargs
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.dataset}/{self.bound} across seeds {list(self.seeds)}:",
+            f"{'algorithm':<16} {'wins mean':>10} {'wins 95% CI':>16} "
+            f"{'ovh mean':>9}",
+        ]
+        for a in self.algorithms:
+            wins = self.win_fractions[a]
+            lo, hi = self.win_ci(a)
+            ovh = self.mean_overheads[a]
+            lines.append(
+                f"{a:<16} {sum(wins) / len(wins):>10.1%} "
+                f"[{lo:>6.1%}, {hi:>6.1%}] {sum(ovh) / len(ovh):>9.3f}"
+            )
+        for row in self.significance():
+            verdict = "significant" if row.significant() else "not significant"
+            lines.append(
+                f"  {row.first} vs {row.second}: wins/ties/losses = "
+                f"{row.wins}/{row.ties}/{row.losses}, "
+                f"p = {row.p_permutation:.4f} ({verdict})"
+            )
+        return "\n".join(lines)
+
+
+def seed_sweep(
+    dataset: str = "synth",
+    bound: str = "Mmid",
+    *,
+    algorithms: Sequence[str] = ("OptMinMem", "RecExpand", "PostOrderMinIO"),
+    scale: str = "tiny",
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> SeedSweep:
+    """Run one comparison across several dataset seeds.
+
+    ``dataset`` is ``"synth"`` or ``"trees"``; ``bound`` one of
+    ``M1``/``Mmid``/``M2``.
+    """
+    if dataset not in ("synth", "trees"):
+        raise ValueError(f"unknown dataset {dataset!r}")
+    build = build_synth if dataset == "synth" else build_trees
+
+    win_fractions: dict[str, list[float]] = {a: [] for a in algorithms}
+    mean_overheads: dict[str, list[float]] = {a: [] for a in algorithms}
+    pooled: dict[str, list[float]] = {a: [] for a in algorithms}
+
+    for seed in seeds:
+        trees = build(scale, seed=seed)
+        result = run_comparison(
+            f"{dataset}-{bound}-seed{seed}", trees, bound, algorithms
+        )
+        perfs = result.profile.performances
+        n = result.num_instances
+        best = [min(perfs[a][i] for a in algorithms) for i in range(n)]
+        for a in algorithms:
+            overheads = [perfs[a][i] / best[i] - 1.0 for i in range(n)]
+            win_fractions[a].append(
+                sum(1 for o in overheads if o <= 1e-12) / n
+            )
+            mean_overheads[a].append(sum(overheads) / n)
+            pooled[a].extend(perfs[a])
+
+    return SeedSweep(
+        dataset=dataset,
+        bound=bound,
+        algorithms=tuple(algorithms),
+        seeds=tuple(seeds),
+        win_fractions={a: tuple(v) for a, v in win_fractions.items()},
+        mean_overheads={a: tuple(v) for a, v in mean_overheads.items()},
+        pooled_performances={a: tuple(v) for a, v in pooled.items()},
+    )

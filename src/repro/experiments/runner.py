@@ -1,0 +1,208 @@
+"""End-to-end experiment runner producing a machine-readable report.
+
+This is the programmatic backbone behind ``EXPERIMENTS.md`` and the
+``repro-ioschedule report`` CLI subcommand: it regenerates every
+evaluation figure of the paper (4, 5, 8–11), replays the counterexample
+constructions (2a–2c, 6, 7), and packages everything — per-algorithm
+profile statistics, win rates, raw I/O volumes, wall-clock — into plain
+dictionaries that serialise to JSON.
+
+The report intentionally stores *summaries with provenance* (scale, seed,
+instance counts) rather than every traversal, so a full run at the default
+scale stays small enough to commit next to the paper numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.traversal import validate
+from ..datasets import instances as paper_instances
+from .figures import FIGURES, FigureResult
+from .registry import ALGORITHMS, get_algorithm
+
+__all__ = [
+    "ExperimentReport",
+    "figure_summary",
+    "run_counterexamples",
+    "run_figures",
+    "run_all",
+    "report_to_text",
+]
+
+#: thresholds at which every profile curve is sampled for the report
+REPORT_THRESHOLDS = (0.0, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00, 2.00)
+
+
+@dataclass
+class ExperimentReport:
+    """A JSON-serialisable record of one full evaluation run."""
+
+    scale: str
+    started_at: float
+    figures: dict[str, Any] = field(default_factory=dict)
+    counterexamples: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_json(self, **dump_kwargs: Any) -> str:
+        dump_kwargs.setdefault("indent", 2)
+        dump_kwargs.setdefault("sort_keys", True)
+        return json.dumps(asdict(self), **dump_kwargs)
+
+
+def figure_summary(result: FigureResult) -> dict[str, Any]:
+    """Distil a :class:`FigureResult` into plain numbers.
+
+    For every algorithm: the fraction of instances where it matches the
+    best observed performance, curve samples at the report thresholds,
+    and mean/max relative overhead versus the per-instance best.
+    """
+    perfs = result.profile.performances
+    algorithms = list(result.algorithms)
+    n = result.num_instances
+    best = [min(perfs[a][i] for a in algorithms) for i in range(n)]
+
+    per_algorithm: dict[str, Any] = {}
+    for a in algorithms:
+        overheads = [perfs[a][i] / best[i] - 1.0 for i in range(n)]
+        curve = result.profile.curve(a)
+        per_algorithm[a] = {
+            "wins": sum(1 for o in overheads if o <= 1e-12) / n,
+            "mean_overhead": sum(overheads) / n,
+            "max_overhead": max(overheads),
+            "curve": {
+                f"{t:.2f}": curve.fraction_at(t) for t in REPORT_THRESHOLDS
+            },
+            "total_io": sum(result.io_volumes[a]),
+        }
+    return {
+        "name": result.name,
+        "bound": result.bound,
+        "instances": n,
+        "mean_memory": sum(result.memories) / n,
+        "mean_nodes": sum(result.instance_sizes) / n,
+        "algorithms": per_algorithm,
+    }
+
+
+def run_figures(
+    scale: str = "small",
+    *,
+    figure_ids: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Regenerate the requested figures (all by default) at ``scale``."""
+    out: dict[str, Any] = {}
+    for fid in figure_ids or sorted(FIGURES):
+        t0 = time.perf_counter()
+        result = FIGURES[fid](scale)
+        summary = figure_summary(result)
+        summary["seconds"] = time.perf_counter() - t0
+        # The paper's right-hand plots for the TREES dataset restrict to
+        # the instances on which the heuristics disagree.
+        try:
+            summary["differing"] = figure_summary(result.differing_subset())
+        except ValueError:
+            summary["differing"] = None
+        out[fid] = summary
+        if progress is not None:
+            progress(f"{fid}: {summary['instances']} instances in {summary['seconds']:.1f}s")
+    return out
+
+
+def _run_instance(inst: paper_instances.PaperInstance) -> dict[str, Any]:
+    row: dict[str, Any] = {
+        "n": inst.tree.n,
+        "memory": inst.memory,
+        "witness_io": inst.witness_io,
+        "io": {},
+    }
+    for name in sorted(ALGORITHMS):
+        traversal = get_algorithm(name)(inst.tree, inst.memory)
+        validate(inst.tree, traversal, inst.memory)
+        row["io"][name] = traversal.io_volume
+    return row
+
+
+def run_counterexamples(
+    *,
+    fig2a_extensions: Sequence[int] = (0, 2, 4),
+    fig2c_ks: Sequence[int] = (1, 2, 4, 8),
+) -> dict[str, Any]:
+    """Replay the hand-crafted instances of Figures 2, 6 and 7."""
+    out: dict[str, Any] = {}
+    for ext in fig2a_extensions:
+        inst = paper_instances.figure_2a(extensions=ext)
+        out[f"fig2a_ext{ext}"] = _run_instance(inst)
+    out["fig2b"] = _run_instance(paper_instances.figure_2b())
+    for k in fig2c_ks:
+        out[f"fig2c_k{k}"] = _run_instance(paper_instances.figure_2c(k))
+    out["fig6"] = _run_instance(paper_instances.figure_6())
+    out["fig7"] = _run_instance(paper_instances.figure_7())
+    return out
+
+
+def run_all(
+    scale: str = "small",
+    *,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentReport:
+    """The whole evaluation: all figures plus all counterexamples."""
+    report = ExperimentReport(scale=scale, started_at=time.time())
+    t0 = time.perf_counter()
+    report.counterexamples = run_counterexamples()
+    if progress is not None:
+        progress("counterexamples done")
+    report.figures = run_figures(scale, progress=progress)
+    report.elapsed_seconds = time.perf_counter() - t0
+    return report
+
+
+def report_to_text(report: ExperimentReport | Mapping[str, Any]) -> str:
+    """Render a report as the text tables EXPERIMENTS.md embeds."""
+    data = asdict(report) if isinstance(report, ExperimentReport) else dict(report)
+    lines = [f"scale: {data['scale']}   elapsed: {data['elapsed_seconds']:.1f}s", ""]
+
+    lines.append("== counterexamples (I/O volumes) ==")
+    header = None
+    for name, row in data["counterexamples"].items():
+        algs = sorted(row["io"])
+        if header is None:
+            header = f"{'instance':<14} {'n':>5} {'M':>5} {'witness':>8} " + " ".join(
+                f"{a:>15}" for a in algs
+            )
+            lines.append(header)
+        witness = "-" if row["witness_io"] is None else str(row["witness_io"])
+        lines.append(
+            f"{name:<14} {row['n']:>5} {row['memory']:>5} {witness:>8} "
+            + " ".join(f"{row['io'][a]:>15}" for a in algs)
+        )
+
+    for fid, summary in data["figures"].items():
+        lines.append("")
+        lines.append(
+            f"== {fid} ({summary['name']}; {summary['instances']} instances, "
+            f"bound {summary['bound']}) =="
+        )
+        lines.append(
+            f"{'algorithm':<16} {'wins':>7} {'<=5%':>7} {'<=50%':>7} "
+            f"{'mean ovh':>9} {'max ovh':>9} {'total IO':>10}"
+        )
+        for a, stats in summary["algorithms"].items():
+            lines.append(
+                f"{a:<16} {stats['wins']:>7.1%} {stats['curve']['0.05']:>7.1%} "
+                f"{stats['curve']['0.50']:>7.1%} {stats['mean_overhead']:>9.3f} "
+                f"{stats['max_overhead']:>9.3f} {stats['total_io']:>10}"
+            )
+        if summary.get("differing"):
+            diff = summary["differing"]
+            lines.append(f"  -- differing subset: {diff['instances']} instances --")
+            for a, stats in diff["algorithms"].items():
+                lines.append(
+                    f"  {a:<14} {stats['wins']:>7.1%} {stats['curve']['0.05']:>7.1%} "
+                    f"{stats['curve']['0.50']:>7.1%} {stats['mean_overhead']:>9.3f}"
+                )
+    return "\n".join(lines)

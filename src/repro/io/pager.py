@@ -1,0 +1,207 @@
+"""The paging simulator: execute a schedule at page granularity.
+
+Semantics mirror the paper's node-level model (Section 3.1), page by page:
+
+* memory holds ``frames = M // page_size`` page frames;
+* executing node *v* first faults in every non-resident page of its
+  children (all input pages must be resident simultaneously), then
+  consumes them and produces the ``pages(v)`` output pages *in place* —
+  the step's own working set is ``max(input pages, output pages)``
+  frames, the paging analogue of :math:`\\bar w_v`;
+* pages of other active outputs may stay resident; when a step overflows,
+  the eviction policy picks victims among them (current-step pages are
+  pinned).  Every page in this workload is written once and read at most
+  once, so each eviction is a dirty write-back and causes exactly one
+  read later.
+
+With the Belady policy this is provably the best any paging system can do
+for the given schedule; comparing it against LRU/FIFO/random quantifies
+what an *online* memory manager loses over the paper's offline bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.simulator import InfeasibleSchedule, TreeLike
+from .pages import PageMap
+from .policies import EvictionPolicy, make_policy
+
+__all__ = ["PageEvent", "PagingResult", "paged_io", "page_policy_comparison"]
+
+
+@dataclass(frozen=True)
+class PageEvent:
+    """One disk transfer: ``op`` is ``"write"`` (eviction) or ``"read"`` (fault)."""
+
+    step: int
+    op: str
+    page: int
+    node: int
+
+
+@dataclass(frozen=True)
+class PagingResult:
+    """Outcome of one paged execution.
+
+    Volumes are reported in pages and in memory units (pages are whole-page
+    transfers, so ``write_units = write_pages * page_size``); ``io_by_node``
+    is the paging analogue of the paper's ``tau`` (in pages).
+    """
+
+    policy: str
+    page_size: int
+    frames: int
+    write_pages: int
+    read_pages: int
+    peak_frames: int
+    io_by_node: Mapping[int, int]
+    events: tuple[PageEvent, ...] = field(default=())
+
+    @property
+    def write_units(self) -> int:
+        return self.write_pages * self.page_size
+
+    @property
+    def read_units(self) -> int:
+        return self.read_pages * self.page_size
+
+    def performance(self, memory: int) -> float:
+        """The paper's ``(M + io) / M`` metric on the page write volume."""
+        return (memory + self.write_units) / memory
+
+
+def paged_io(
+    tree: TreeLike,
+    schedule: Sequence[int],
+    memory: int,
+    *,
+    page_size: int = 1,
+    policy: str | EvictionPolicy = "belady",
+    seed: int = 0,
+    trace: bool = False,
+) -> PagingResult:
+    """Execute ``schedule`` through the pager and count page transfers.
+
+    Parameters
+    ----------
+    tree:
+        anything satisfying the tree protocol (weights/parents/children).
+    schedule:
+        node ids in execution order, topological over the nodes present.
+    memory:
+        the memory bound in units; the pager uses ``memory // page_size``
+        frames (slack units below a page boundary are unusable, exactly
+        like a real pinned-page allocator).
+    page_size:
+        units per page; 1 reproduces the paper's model.
+    policy:
+        a policy name from :data:`repro.io.policies.POLICIES` or a policy
+        instance (for custom strategies).
+    seed:
+        seed for the ``random`` policy.
+    trace:
+        record every page transfer as a :class:`PageEvent`.
+
+    Raises
+    ------
+    InfeasibleSchedule
+        if some step's own working set exceeds the frame count.
+    """
+    pmap = PageMap(tree.weights, page_size)
+    frames = memory // page_size
+    if isinstance(policy, str):
+        policy_name, policy_impl = policy, make_policy(policy, seed=seed)
+    else:
+        policy_name, policy_impl = type(policy).__name__, policy
+
+    pos = {v: t for t, v in enumerate(schedule)}
+    horizon = len(schedule)
+    parents = tree.parents
+    children = tree.children
+
+    resident: set[int] = set()
+    pinned: set[int] = set()
+    io_by_node: dict[int, int] = {}
+    events: list[PageEvent] = []
+    writes = reads = 0
+    peak = 0
+
+    def evict_down_to(budget: int, step: int) -> None:
+        nonlocal writes
+        while len(resident) > budget:
+            victim = policy_impl.evict(lambda p: p in pinned)
+            resident.discard(victim)
+            owner = pmap.owner(victim)
+            io_by_node[owner] = io_by_node.get(owner, 0) + 1
+            writes += 1
+            if trace:
+                events.append(PageEvent(step, "write", victim, owner))
+
+    for t, v in enumerate(schedule):
+        in_pages: list[int] = []
+        for c in children[v]:
+            in_pages.extend(pmap.pages_of(c))
+        out_count = pmap.page_count(v)
+        step_frames = max(len(in_pages), out_count)
+        if step_frames > frames:
+            raise InfeasibleSchedule(
+                f"node {v} needs {step_frames} frames > {frames} "
+                f"(memory {memory}, page size {page_size})"
+            )
+
+        # Phase 1: pin and fault in the inputs.
+        pinned.clear()
+        pinned.update(in_pages)
+        missing = [p for p in in_pages if p not in resident]
+        # Make room for the faults (other active pages are the victims).
+        evict_down_to(frames - len(missing), t)
+        for p in missing:
+            resident.add(p)
+            reads += 1
+            if trace:
+                events.append(PageEvent(t, "read", p, pmap.owner(p)))
+        peak = max(peak, len(resident))
+
+        # Phase 2: consume the inputs, produce the output in place.
+        for p in in_pages:
+            resident.discard(p)
+            policy_impl.forget(p)
+        pinned.clear()
+        if out_count:
+            evict_down_to(frames - out_count, t)
+            parent_pos = pos.get(parents[v], horizon)
+            for p in pmap.pages_of(v):
+                resident.add(p)
+                policy_impl.admit(p, t, parent_pos)
+            peak = max(peak, len(resident))
+
+    return PagingResult(
+        policy=policy_name,
+        page_size=page_size,
+        frames=frames,
+        write_pages=writes,
+        read_pages=reads,
+        peak_frames=peak,
+        io_by_node=io_by_node,
+        events=tuple(events),
+    )
+
+
+def page_policy_comparison(
+    tree: TreeLike,
+    schedule: Sequence[int],
+    memory: int,
+    *,
+    page_size: int = 1,
+    policies: Sequence[str] = ("belady", "lru", "random", "pessimal"),
+    seed: int = 0,
+) -> dict[str, PagingResult]:
+    """Run the same schedule under several policies (the ablation helper)."""
+    return {
+        name: paged_io(
+            tree, schedule, memory, page_size=page_size, policy=name, seed=seed
+        )
+        for name in policies
+    }

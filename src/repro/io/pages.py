@@ -1,0 +1,100 @@
+"""Page tables: mapping task outputs onto fixed-size pages.
+
+A :class:`PageMap` assigns every task output a contiguous range of page
+ids, ``ceil(w_i / page_size)`` pages each.  Page ids are dense integers,
+allocated in node order, so a page id doubles as a (coarse) disk address
+for the :mod:`repro.io.device` timing model.
+
+The last page of an output may be partially filled; :meth:`PageMap.payload`
+reports the exact number of memory units it carries so volume accounting
+can be done either in pages or in the paper's memory units.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+__all__ = ["PageMap"]
+
+
+class PageMap:
+    """Dense page-id layout of all task outputs of a tree.
+
+    Parameters
+    ----------
+    weights:
+        output sizes in memory units, node-indexed.
+    page_size:
+        units per page (positive integer).  Page size 1 reproduces the
+        paper's unit-granularity model exactly.
+    """
+
+    __slots__ = ("_page_size", "_starts", "_counts", "_owner", "_weights")
+
+    def __init__(self, weights: Sequence[int], page_size: int = 1):
+        if page_size < 1 or int(page_size) != page_size:
+            raise ValueError(f"page size must be a positive integer: {page_size!r}")
+        self._page_size = int(page_size)
+        self._weights = tuple(int(w) for w in weights)
+        starts: list[int] = []
+        counts: list[int] = []
+        owner: list[int] = []
+        next_page = 0
+        for v, w in enumerate(self._weights):
+            if w < 0:
+                raise ValueError(f"negative weight for node {v}: {w}")
+            pages = -(-w // self._page_size)  # ceil division; 0 for w == 0
+            starts.append(next_page)
+            counts.append(pages)
+            owner.extend([v] * pages)
+            next_page += pages
+        self._starts = tuple(starts)
+        self._counts = tuple(counts)
+        self._owner = tuple(owner)
+
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    @property
+    def total_pages(self) -> int:
+        """Number of pages across all outputs."""
+        return len(self._owner)
+
+    def pages_of(self, node: int) -> range:
+        """The page ids storing ``node``'s output (contiguous)."""
+        start = self._starts[node]
+        return range(start, start + self._counts[node])
+
+    def page_count(self, node: int) -> int:
+        """``ceil(w_node / page_size)``."""
+        return self._counts[node]
+
+    def owner(self, page: int) -> int:
+        """The node whose output lives on ``page``."""
+        return self._owner[page]
+
+    def payload(self, page: int) -> int:
+        """Memory units actually stored on ``page`` (last page may be partial)."""
+        node = self._owner[page]
+        start = self._starts[node]
+        offset = (page - start) * self._page_size
+        return min(self._page_size, self._weights[node] - offset)
+
+    def rounded_weight(self, node: int) -> int:
+        """``w_node`` rounded up to a whole number of pages, in units."""
+        return self._counts[node] * self._page_size
+
+    def rounded_weights(self) -> tuple[int, ...]:
+        """All weights rounded up to page multiples (units)."""
+        return tuple(c * self._page_size for c in self._counts)
+
+    def iter_nodes(self) -> Iterator[int]:
+        return iter(range(len(self._starts)))
+
+    def __repr__(self) -> str:
+        return (
+            f"PageMap(nodes={len(self._starts)}, page_size={self._page_size}, "
+            f"total_pages={self.total_pages})"
+        )

@@ -1,0 +1,186 @@
+"""Victim-selection policies for the page-granular simulator.
+
+A policy answers one question: *given the set of evictable pages, which
+one leaves memory?*  The pager (:mod:`repro.io.pager`) handles pinning,
+fault accounting and bookkeeping; policies only rank victims.
+
+In this workload every page of a task output is touched exactly twice —
+written at production, read back when the parent executes — so the
+classical policies collapse interestingly:
+
+* **Belady / FiF** (offline optimal): the next use of a page of node *k*
+  is the execution step of ``parent(k)``, so Belady's MIN rule *is* the
+  paper's Furthest-in-the-Future rule at page granularity (Theorem 1).
+* **LRU** degenerates to FIFO: pages are never re-touched between
+  production and their single consumption, so recency order equals
+  production order.  (Both are provided; tests pin the equivalence.)
+* **Pessimal** (nearest parent first) is the adversarial bound — useful
+  to width the empirical spread in the policy-comparison experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "EvictionPolicy",
+    "BeladyPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "PessimalPolicy",
+    "POLICIES",
+    "make_policy",
+]
+
+
+class EvictionPolicy(Protocol):
+    """The pager ↔ policy interface.
+
+    The pager guarantees that :meth:`evict` is only called while at least
+    one unpinned resident page exists, and that every page passed to
+    :meth:`admit` was not resident before.
+    """
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        """``page`` became resident at ``step``; its one future use is at
+        schedule position ``parent_pos`` (``horizon`` if never used)."""
+
+    def forget(self, page: int) -> None:
+        """``page`` left memory (evicted or consumed); drop any state."""
+
+    def evict(self, pinned: Callable[[int], bool]) -> int:
+        """Choose a resident, unpinned victim page and return its id."""
+
+
+class _HeapPolicy:
+    """Shared lazy-heap machinery: victims ordered by a per-page key."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int]] = []
+        self._resident: set[int] = set()
+
+    def _push(self, key: float, page: int) -> None:
+        self._resident.add(page)
+        heapq.heappush(self._heap, (key, page))
+
+    def forget(self, page: int) -> None:
+        self._resident.discard(page)  # lazily cleaned from the heap
+
+    def evict(self, pinned: Callable[[int], bool]) -> int:
+        # Pop invalid entries; set aside pinned ones and restore them after.
+        pinned_aside: list[tuple[float, int]] = []
+        try:
+            while True:
+                key, page = heapq.heappop(self._heap)
+                if page not in self._resident:
+                    continue
+                if pinned(page):
+                    pinned_aside.append((key, page))
+                    continue
+                self._resident.discard(page)
+                return page
+        except IndexError:
+            raise RuntimeError("policy asked to evict with no unpinned victim") from None
+        finally:
+            for item in pinned_aside:
+                heapq.heappush(self._heap, item)
+
+
+class BeladyPolicy(_HeapPolicy):
+    """Evict the page whose (single) next use is furthest in the future.
+
+    Offline-optimal (Belady's MIN); identical to the paper's FiF rule
+    because a page's next use is its owner's parent-execution step.
+    Ties (pages of the same node) are broken toward higher page ids so
+    that partial evictions nibble outputs from the tail, matching how the
+    node-level simulator reports partial ``tau`` values.
+    """
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        self._push((-parent_pos, -page), page)  # type: ignore[arg-type]
+
+
+class PessimalPolicy(_HeapPolicy):
+    """Evict the page used *soonest* — the adversarial anti-Belady bound."""
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        self._push((parent_pos, page), page)  # type: ignore[arg-type]
+
+
+class LRUPolicy(_HeapPolicy):
+    """Least-recently-used.  Degenerates to FIFO here (see module docs)."""
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        self._push((step, page), page)  # type: ignore[arg-type]
+
+
+class FIFOPolicy(_HeapPolicy):
+    """First-in-first-out over residency start times."""
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        self._push((step, page), page)  # type: ignore[arg-type]
+
+
+class RandomPolicy:
+    """Uniform random victim (seeded, for reproducible experiments)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._pages: list[int] = []
+        self._index: dict[int, int] = {}
+
+    def admit(self, page: int, step: int, parent_pos: int) -> None:
+        self._index[page] = len(self._pages)
+        self._pages.append(page)
+
+    def forget(self, page: int) -> None:
+        idx = self._index.pop(page, None)
+        if idx is None:
+            return
+        last = self._pages.pop()
+        if last != page:
+            self._pages[idx] = last
+            self._index[last] = idx
+
+    def evict(self, pinned: Callable[[int], bool]) -> int:
+        candidates = self._pages
+        # Rejection-sample; fall back to a scan if pinning is dense.
+        for _ in range(8):
+            page = candidates[int(self._rng.integers(len(candidates)))]
+            if not pinned(page):
+                self.forget(page)
+                return page
+        unpinned = [p for p in candidates if not pinned(p)]
+        if not unpinned:
+            raise RuntimeError("policy asked to evict with no unpinned victim")
+        page = unpinned[int(self._rng.integers(len(unpinned)))]
+        self.forget(page)
+        return page
+
+
+#: name → zero-argument factory (RandomPolicy takes an optional seed)
+POLICIES: dict[str, Callable[..., EvictionPolicy]] = {
+    "belady": BeladyPolicy,
+    "fif": BeladyPolicy,  # the paper's name for the same rule
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "pessimal": PessimalPolicy,
+}
+
+
+def make_policy(name: str, *, seed: int = 0) -> EvictionPolicy:
+    """Instantiate a policy by name (``random`` honours ``seed``)."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+    if factory is RandomPolicy:
+        return RandomPolicy(seed=seed)
+    return factory()

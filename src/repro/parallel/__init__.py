@@ -1,0 +1,29 @@
+"""Parallel out-of-core tree scheduling (the paper's future-work direction).
+
+The paper studies the sequential problem because "one cannot hope to
+achieve good results for the minimization of I/O volume in a parallel
+setting until the sequential problem is well understood" (Section 1).
+This subpackage builds that next step: an event-driven simulator for
+``p`` processors sharing one memory of size ``M``, with priority-list
+scheduling driven by the sequential schedules, FiF-style eviction, and
+makespan/I/O accounting.
+"""
+
+from .activation import simulate_activation, window_sweep
+from .engine import ParallelEvent, ParallelReport, simulate_parallel
+from .strategies import (
+    critical_path_priority,
+    priority_from_schedule,
+    priority_from_strategy,
+)
+
+__all__ = [
+    "simulate_parallel",
+    "simulate_activation",
+    "window_sweep",
+    "ParallelReport",
+    "ParallelEvent",
+    "critical_path_priority",
+    "priority_from_schedule",
+    "priority_from_strategy",
+]

@@ -1,0 +1,118 @@
+"""Activation-window parallel scheduling (memory-booked parallelism).
+
+The paper's companion work on *in-core* parallel tree scheduling
+(Eyraud-Dubois, Marchal, Sinnen, Vivien, TOPC 2015) controls memory by
+only *activating* tasks in the order of a memory-efficient sequential
+traversal: processors may run any ready task among the first ``window``
+not-yet-started tasks of that order.  This module transplants the idea
+to the out-of-core model:
+
+* ``window = 1`` serialises execution into exactly the sequential
+  traversal — same I/O volume as the FiF simulator (tested reduction);
+* ``window = n`` degenerates to plain priority-list scheduling, the
+  memory-oblivious extreme (also a tested reduction);
+* in between, the window caps how far execution can run ahead of the
+  sequential order, trading makespan for I/O.
+
+The sweep over ``window`` is the paper's "future work: parallel
+out-of-core" question made measurable; ``bench_extensions.py`` plots it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.tree import TaskTree
+from .engine import ParallelReport, simulate_parallel
+from .strategies import priority_from_schedule
+
+__all__ = ["simulate_activation", "window_sweep"]
+
+
+def simulate_activation(
+    tree: TaskTree,
+    memory: int,
+    processors: int,
+    order: Sequence[int],
+    *,
+    window: int,
+    durations: Mapping[int, float] | Sequence[float] | None = None,
+    bandwidth: float = 0.0,
+) -> ParallelReport:
+    """Priority-list execution gated by an activation window over ``order``.
+
+    Parameters
+    ----------
+    order:
+        a sequential schedule (topological); both the priorities and the
+        activation sequence derive from it.
+    window:
+        a ready task may start only if it is among the first ``window``
+        not-yet-started tasks of ``order``.  Must be >= 1.
+    """
+    n = tree.n
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if sorted(order) != list(range(n)):
+        raise ValueError("order is not a permutation of the nodes")
+
+    position = {v: i for i, v in enumerate(order)}
+    started = [False] * n
+    # `cursor` scans `order`; unstarted_positions keeps the window frontier.
+    frontier: list[int] = []  # positions (in order) of unstarted tasks, sorted
+    cursor = 0
+
+    def refill() -> None:
+        nonlocal cursor
+        while len(frontier) < window and cursor < n:
+            if not started[order[cursor]]:
+                frontier.append(cursor)
+            cursor += 1
+
+    refill()
+
+    def gate(v: int) -> bool:
+        return position[v] in frontier[:window]
+
+    def on_start(v: int) -> None:
+        started[v] = True
+        pos = position[v]
+        if pos in frontier:
+            frontier.remove(pos)
+        refill()
+
+    return simulate_parallel(
+        tree,
+        memory,
+        processors,
+        priority_from_schedule(order),
+        durations=durations,
+        bandwidth=bandwidth,
+        gate=gate,
+        on_start=on_start,
+    )
+
+
+def window_sweep(
+    tree: TaskTree,
+    memory: int,
+    processors: int,
+    order: Sequence[int],
+    windows: Sequence[int],
+    *,
+    durations: Mapping[int, float] | Sequence[float] | None = None,
+    bandwidth: float = 0.0,
+) -> dict[int, ParallelReport]:
+    """Run :func:`simulate_activation` across several window sizes."""
+    return {
+        w: simulate_activation(
+            tree,
+            memory,
+            processors,
+            order,
+            window=w,
+            durations=durations,
+            bandwidth=bandwidth,
+        )
+        for w in windows
+    }

@@ -1,0 +1,55 @@
+"""Priority builders for the parallel engine.
+
+The parallel simulator is priority-list driven; these helpers derive the
+priorities from the sequential world, which is exactly how practical
+solvers bolt parallelism onto a good sequential traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.tree import TaskTree
+from ..experiments.registry import get_algorithm
+
+__all__ = [
+    "priority_from_schedule",
+    "priority_from_strategy",
+    "critical_path_priority",
+]
+
+
+def priority_from_schedule(schedule: Sequence[int]) -> list[int]:
+    """Rank tasks by their position in a sequential schedule."""
+    rank = [0] * len(schedule)
+    for t, v in enumerate(schedule):
+        rank[v] = t
+    return rank
+
+
+def priority_from_strategy(tree: TaskTree, memory: int, name: str) -> list[int]:
+    """Ranks from a registered sequential strategy (e.g. ``"RecExpand"``)."""
+    traversal = get_algorithm(name)(tree, memory)
+    return priority_from_schedule(traversal.schedule)
+
+
+def critical_path_priority(
+    tree: TaskTree, durations: Sequence[float] | None = None
+) -> list[int]:
+    """Classic HLF ranks: longer remaining path to the root goes first.
+
+    Returned as ranks (lower = earlier), consistent with the other
+    builders.  A makespan-oriented baseline that ignores memory — useful
+    to show why memory-aware priorities matter out of core.
+    """
+    if durations is None:
+        durations = [float(w) for w in tree.wbar]
+    level = [0.0] * tree.n
+    for v in tree.topological_order():  # root first: parents before children
+        p = tree.parents[v]
+        level[v] = durations[v] + (level[p] if p != -1 else 0.0)
+    order = sorted(range(tree.n), key=lambda v: -level[v])
+    rank = [0] * tree.n
+    for i, v in enumerate(order):
+        rank[v] = i
+    return rank

@@ -1,0 +1,30 @@
+"""SVG/ASCII visualisation of profiles, memory timelines and trees.
+
+Matplotlib-free renderers producing standalone SVG files:
+
+* :func:`~repro.viz.charts.profile_chart` — the paper's performance
+  profile figures;
+* :func:`~repro.viz.charts.memory_timeline_chart` — resident memory per
+  execution step under one or more schedules;
+* :func:`~repro.viz.charts.io_sweep_chart` — I/O volume across a tree's
+  whole memory regime;
+* :func:`~repro.viz.treeviz.tree_chart` — annotated node-link tree
+  diagrams (the Figure 2/6/7 style).
+"""
+
+from .charts import io_sweep_chart, memory_timeline_chart, profile_chart
+from .gantt import gantt_chart
+from .svg import PALETTE, LineChart, Series
+from .treeviz import tree_ascii, tree_chart
+
+__all__ = [
+    "LineChart",
+    "PALETTE",
+    "Series",
+    "gantt_chart",
+    "io_sweep_chart",
+    "memory_timeline_chart",
+    "profile_chart",
+    "tree_ascii",
+    "tree_chart",
+]

@@ -1,0 +1,115 @@
+"""Paper-style figures from reproduction data structures.
+
+Three renderers, all returning SVG strings:
+
+* :func:`profile_chart` — a Dolan–Moré performance profile, the format of
+  every evaluation figure in the paper (4, 5, 8–11);
+* :func:`memory_timeline_chart` — resident memory per execution step for
+  one or more traversals of a tree, with the bound ``M`` drawn in;
+* :func:`io_sweep_chart` — I/O volume of several strategies as a function
+  of the memory bound across a tree's whole I/O regime.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..analysis.profiles import PerformanceProfile
+from ..core.simulator import simulate_fif
+from ..core.tree import TaskTree
+from .svg import LineChart
+
+__all__ = ["profile_chart", "memory_timeline_chart", "io_sweep_chart"]
+
+
+def profile_chart(
+    profile: PerformanceProfile,
+    *,
+    title: str = "",
+    max_threshold: float | None = None,
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render profile curves exactly like the paper's evaluation figures:
+    x = maximal overhead vs the best strategy, y = fraction of test cases."""
+    observed = [t for c in profile.curves for t in c.thresholds]
+    hi = max_threshold if max_threshold is not None else (max(observed) or 0.01)
+    chart = LineChart(
+        title=title,
+        x_label="Maximal overhead",
+        y_label="Fraction of test cases",
+        width=width,
+        height=height,
+        x_range=(0.0, hi),
+        y_range=(0.0, 1.0),
+        x_percent=True,
+    )
+    for curve in profile.curves:
+        xs = [t for t in curve.thresholds if t <= hi]
+        ys = list(curve.fractions[: len(xs)])
+        if not xs or xs[0] > 0.0:
+            xs.insert(0, 0.0)
+            ys.insert(0, curve.fraction_at(0.0))
+        chart.add(curve.algorithm, xs, ys, step=True)
+    return chart.render()
+
+
+def memory_timeline_chart(
+    tree: TaskTree,
+    schedules: Mapping[str, Sequence[int]],
+    memory: int | None = None,
+    *,
+    title: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Resident-memory trajectory of each schedule, step by step.
+
+    With ``memory`` set, the FiF simulator enforces the bound (the curves
+    saturate at ``M`` and the dashed line shows the limit); without it the
+    curves show the unbounded-memory peaks (the MinMem view).
+    """
+    chart = LineChart(
+        title=title,
+        x_label="Execution step",
+        y_label="Resident memory (units)",
+        width=width,
+        height=height,
+    )
+    for name, schedule in schedules.items():
+        result = simulate_fif(tree, schedule, memory, trace=True)
+        xs = list(range(len(result.steps)))
+        ys = [s.resident_after for s in result.steps]
+        label = f"{name} (io={result.io_volume})" if memory is not None else name
+        chart.add(label, xs, ys)
+    if memory is not None:
+        last = max(len(s) for s in schedules.values())
+        chart.add(f"M = {memory}", [0, last - 1], [memory, memory], dash="6,4",
+                  color="#888888")
+    return chart.render()
+
+
+def io_sweep_chart(
+    tree: TaskTree,
+    io_by_algorithm: Mapping[str, Sequence[int]],
+    memories: Sequence[int],
+    *,
+    title: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """I/O volume versus memory bound, one curve per strategy."""
+    chart = LineChart(
+        title=title,
+        x_label="Memory bound M",
+        y_label="I/O volume",
+        width=width,
+        height=height,
+    )
+    for name, volumes in io_by_algorithm.items():
+        if len(volumes) != len(memories):
+            raise ValueError(
+                f"{name}: {len(volumes)} volumes for {len(memories)} memories"
+            )
+        chart.add(name, list(memories), list(volumes))
+    return chart.render()

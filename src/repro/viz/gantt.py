@@ -1,0 +1,123 @@
+"""Gantt charts of parallel out-of-core executions.
+
+Renders a :class:`~repro.parallel.engine.ParallelReport` as an SVG
+timeline: one lane per processor, one bar per task (labelled with the
+node id), bars shaded by how much of their span was spent blocked on
+reads — the picture that makes the activation-window trade-off visible
+at a glance.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from ..parallel.engine import ParallelReport
+from .svg import PALETTE
+
+__all__ = ["gantt_chart"]
+
+_LANE_H = 26
+_BAR_H = 18
+_LEFT = 64
+_RIGHT = 16
+_TOP = 36
+_BOTTOM = 36
+
+
+def gantt_chart(
+    report: ParallelReport,
+    *,
+    title: str = "",
+    width: int = 760,
+    min_label_px: float = 18.0,
+) -> str:
+    """The report's events as an SVG Gantt chart.
+
+    Parameters
+    ----------
+    min_label_px:
+        bars narrower than this many pixels stay unlabelled (legibility).
+    """
+    if not report.events:
+        raise ValueError("report has no events to draw")
+    processors = len(report.busy_time)
+    makespan = report.makespan or max(e.end for e in report.events)
+    plot_w = width - _LEFT - _RIGHT
+    height = _TOP + processors * _LANE_H + _BOTTOM
+
+    def sx(t: float) -> float:
+        return _LEFT + (t / makespan) * plot_w if makespan else _LEFT
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="Helvetica,Arial,sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+
+    for p in range(processors):
+        y = _TOP + p * _LANE_H
+        out.append(
+            f'<text x="{_LEFT - 8}" y="{y + _BAR_H - 4}" '
+            f'text-anchor="end">P{p}</text>'
+        )
+        out.append(
+            f'<line x1="{_LEFT}" y1="{y + _LANE_H - 3}" '
+            f'x2="{_LEFT + plot_w}" y2="{y + _LANE_H - 3}" '
+            'stroke="#eeeeee"/>'
+        )
+
+    for ev in report.events:
+        color = PALETTE[ev.node % len(PALETTE)]
+        x0, x1 = sx(ev.start), sx(ev.end)
+        y = _TOP + ev.processor * _LANE_H
+        bar_w = max(x1 - x0, 1.0)
+        out.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{bar_w:.1f}" '
+            f'height="{_BAR_H}" fill="{color}" fill-opacity="0.75" '
+            'stroke="#333333" stroke-width="0.6"/>'
+        )
+        if ev.read_volume and ev.end > ev.start:
+            # Shade the leading read-stall fraction of the bar.
+            span = ev.end - ev.start
+            stall_frac = min(1.0, ev.read_volume / max(span, 1e-12) / 100.0)
+            out.append(
+                f'<rect x="{x0:.1f}" y="{y}" '
+                f'width="{max(bar_w * stall_frac, 1.0):.1f}" '
+                f'height="{_BAR_H}" fill="#000000" fill-opacity="0.25"/>'
+            )
+        if bar_w >= min_label_px:
+            out.append(
+                f'<text x="{(x0 + x1) / 2:.1f}" y="{y + _BAR_H - 5}" '
+                f'text-anchor="middle" fill="white">{ev.node}</text>'
+            )
+
+    # Time axis.
+    axis_y = _TOP + processors * _LANE_H + 12
+    out.append(
+        f'<line x1="{_LEFT}" y1="{axis_y}" x2="{_LEFT + plot_w}" '
+        f'y2="{axis_y}" stroke="#333333"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = makespan * frac
+        x = sx(t)
+        out.append(
+            f'<line x1="{x:.1f}" y1="{axis_y}" x2="{x:.1f}" '
+            f'y2="{axis_y + 4}" stroke="#333333"/>'
+        )
+        out.append(
+            f'<text x="{x:.1f}" y="{axis_y + 16}" '
+            f'text-anchor="middle">{t:g}</text>'
+        )
+    out.append(
+        f'<text x="{_LEFT + plot_w / 2:.0f}" y="{axis_y + 30}" '
+        f'text-anchor="middle">time (makespan {makespan:g}, '
+        f'io {report.io_volume}, utilisation {report.utilisation():.0%})</text>'
+    )
+    out.append("</svg>")
+    return "\n".join(out)

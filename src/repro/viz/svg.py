@@ -1,0 +1,213 @@
+"""A minimal dependency-free SVG chart writer.
+
+Matplotlib is not available in the reproduction environment, so the
+figures are emitted as hand-rolled SVG: enough of a chart library for
+step curves (performance profiles), line series (memory timelines) and
+annotated node-link diagrams (small trees).  Deliberately tiny — axes,
+ticks, legend, polyline/step series — but producing standalone files any
+browser renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["Series", "LineChart", "PALETTE"]
+
+#: colour-blind-safe palette (Okabe–Ito)
+PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+
+@dataclass
+class Series:
+    """One plotted curve."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    #: draw as a right-continuous staircase (performance profiles)
+    step: bool = False
+    color: str | None = None
+    dash: str | None = None  # e.g. "6,3"
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> list[float]:
+    """Human-friendly tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(count, 1)
+    magnitude = 10 ** int(f"{raw:e}".split("e")[1])
+    for mult in (1, 2, 2.5, 5, 10):
+        if mult * magnitude >= raw:
+            step = mult * magnitude
+            break
+    else:  # pragma: no cover - unreachable given the candidates
+        step = raw
+    first = lo - (lo % step) if lo % step else lo
+    ticks = []
+    t = first
+    while t <= hi + 1e-9:
+        if t >= lo - 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+@dataclass
+class LineChart:
+    """Accumulates series, then renders one SVG document."""
+
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    width: int = 640
+    height: int = 420
+    x_range: tuple[float, float] | None = None
+    y_range: tuple[float, float] | None = None
+    x_percent: bool = False  # format x ticks as percentages
+    series: list[Series] = field(default_factory=list)
+
+    _MARGIN = (58, 16, 42, 44)  # left, right, bottom, top
+
+    def add(
+        self,
+        label: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        *,
+        step: bool = False,
+        color: str | None = None,
+        dash: str | None = None,
+    ) -> None:
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: {len(xs)} xs vs {len(ys)} ys")
+        if not xs:
+            raise ValueError(f"series {label!r} is empty")
+        self.series.append(Series(label, list(xs), list(ys), step, color, dash))
+
+    # ------------------------------------------------------------------
+    def _extent(self) -> tuple[float, float, float, float]:
+        if not self.series:
+            raise ValueError("no series to plot")
+        xs = [x for s in self.series for x in s.xs]
+        ys = [y for s in self.series for y in s.ys]
+        x0, x1 = self.x_range if self.x_range else (min(xs), max(xs))
+        y0, y1 = self.y_range if self.y_range else (min(ys), max(ys))
+        if x1 <= x0:
+            x1 = x0 + 1.0
+        if y1 <= y0:
+            y1 = y0 + 1.0
+        return x0, x1, y0, y1
+
+    def render(self) -> str:
+        """The chart as a standalone SVG document string."""
+        left, right, bottom, top = self._MARGIN
+        x0, x1, y0, y1 = self._extent()
+        plot_w = self.width - left - right
+        plot_h = self.height - top - bottom
+
+        def sx(x: float) -> float:
+            return left + (x - x0) / (x1 - x0) * plot_w
+
+        def sy(y: float) -> float:
+            return top + plot_h - (y - y0) / (y1 - y0) * plot_h
+
+        out: list[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}" '
+            'font-family="Helvetica,Arial,sans-serif" font-size="12">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+        ]
+        if self.title:
+            out.append(
+                f'<text x="{self.width / 2:.1f}" y="{top - 24}" text-anchor="middle" '
+                f'font-size="14" font-weight="bold">{escape(self.title)}</text>'
+            )
+
+        # Grid + ticks.
+        for tx in _ticks(x0, x1):
+            px = sx(tx)
+            out.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" '
+                f'y2="{top + plot_h}" stroke="#dddddd" stroke-width="1"/>'
+            )
+            label = f"{tx * 100:g}%" if self.x_percent else f"{tx:g}"
+            out.append(
+                f'<text x="{px:.1f}" y="{top + plot_h + 16}" '
+                f'text-anchor="middle">{escape(label)}</text>'
+            )
+        for ty in _ticks(y0, y1):
+            py = sy(ty)
+            out.append(
+                f'<line x1="{left}" y1="{py:.1f}" x2="{left + plot_w}" '
+                f'y2="{py:.1f}" stroke="#dddddd" stroke-width="1"/>'
+            )
+            out.append(
+                f'<text x="{left - 6}" y="{py + 4:.1f}" '
+                f'text-anchor="end">{ty:g}</text>'
+            )
+
+        # Axes frame.
+        out.append(
+            f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+            'fill="none" stroke="#333333" stroke-width="1"/>'
+        )
+        if self.x_label:
+            out.append(
+                f'<text x="{left + plot_w / 2:.1f}" y="{self.height - 8}" '
+                f'text-anchor="middle">{escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            cx, cy = 14, top + plot_h / 2
+            out.append(
+                f'<text x="{cx}" y="{cy:.1f}" text-anchor="middle" '
+                f'transform="rotate(-90 {cx} {cy:.1f})">{escape(self.y_label)}</text>'
+            )
+
+        # Series.
+        for i, s in enumerate(self.series):
+            color = s.color or PALETTE[i % len(PALETTE)]
+            points: list[tuple[float, float]] = []
+            prev_y: float | None = None
+            for x, y in zip(s.xs, s.ys):
+                if s.step and prev_y is not None:
+                    points.append((sx(x), sy(prev_y)))
+                points.append((sx(x), sy(y)))
+                prev_y = y
+            if s.step and prev_y is not None:
+                points.append((sx(x1), sy(prev_y)))
+            path = " ".join(f"{px:.1f},{py:.1f}" for px, py in points)
+            dash = f' stroke-dasharray="{s.dash}"' if s.dash else ""
+            out.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2"{dash}/>'
+            )
+
+        # Legend (top-left inside the plot).
+        lx, ly = left + 10, top + 14
+        for i, s in enumerate(self.series):
+            color = s.color or PALETTE[i % len(PALETTE)]
+            y = ly + i * 17
+            out.append(
+                f'<line x1="{lx}" y1="{y - 4}" x2="{lx + 22}" y2="{y - 4}" '
+                f'stroke="{color}" stroke-width="2"/>'
+            )
+            out.append(f'<text x="{lx + 28}" y="{y}">{escape(s.label)}</text>')
+
+        out.append("</svg>")
+        return "\n".join(out)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())

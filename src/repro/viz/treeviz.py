@@ -1,0 +1,125 @@
+"""Node-link SVG diagrams of task trees (the paper's Figure 2/6/7 style).
+
+Uses the classic tidy-tree layout (Reingold–Tilford simplified to
+subtree-width packing): leaves get unit-width slots, internal nodes are
+centred over their children.  Node labels show the output weight; an
+optional schedule annotates execution steps next to the nodes, matching
+how the paper prints counterexample traversals.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+from ..core.tree import TaskTree
+
+__all__ = ["tree_chart", "tree_ascii"]
+
+_NODE_R = 16
+_X_GAP = 46
+_Y_GAP = 64
+
+
+def _layout(tree: TaskTree) -> dict[int, tuple[float, int]]:
+    """x (in leaf slots) and depth for every node, iteratively."""
+    depth = [0] * tree.n
+    for v in tree.topological_order():
+        p = tree.parents[v]
+        if p != -1:
+            depth[v] = depth[p] + 1
+
+    x: dict[int, float] = {}
+    next_slot = 0.0
+    for v in tree.bottom_up():
+        kids = tree.children[v]
+        if not kids:
+            x[v] = next_slot
+            next_slot += 1.0
+        else:
+            x[v] = sum(x[c] for c in kids) / len(kids)
+    return {v: (x[v], depth[v]) for v in range(tree.n)}
+
+
+def tree_chart(
+    tree: TaskTree,
+    *,
+    schedule: Sequence[int] | None = None,
+    io: Mapping[int, int] | None = None,
+    title: str = "",
+) -> str:
+    """Render the tree as SVG; weights inside nodes, steps/IO beside them."""
+    pos = _layout(tree)
+    max_slot = max(x for x, _ in pos.values())
+    max_depth = max(d for _, d in pos.values())
+    width = int((max_slot + 1) * _X_GAP + 2 * _NODE_R + 20)
+    height = int((max_depth + 1) * _Y_GAP + 2 * _NODE_R + (30 if title else 10))
+    y_off = 30 if title else 10
+
+    def px(v: int) -> tuple[float, float]:
+        x, d = pos[v]
+        return (x * _X_GAP + _NODE_R + 10, d * _Y_GAP + _NODE_R + y_off)
+
+    step_of = {v: t for t, v in enumerate(schedule)} if schedule else {}
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" font-family="Helvetica,Arial,sans-serif" '
+        'font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        out.append(
+            f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+            f'font-weight="bold">{escape(title)}</text>'
+        )
+    # Edges first (under the nodes).
+    for v in range(tree.n):
+        p = tree.parents[v]
+        if p == -1:
+            continue
+        x1, y1 = px(v)
+        x2, y2 = px(p)
+        out.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            'stroke="#666666" stroke-width="1.2"/>'
+        )
+    for v in range(tree.n):
+        cx, cy = px(v)
+        evicted = io.get(v, 0) if io else 0
+        fill = "#ffd9c2" if evicted else "#e8f0fe"
+        out.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{_NODE_R}" fill="{fill}" '
+            'stroke="#333333" stroke-width="1.2"/>'
+        )
+        out.append(
+            f'<text x="{cx:.1f}" y="{cy + 4:.1f}" '
+            f'text-anchor="middle">{tree.weights[v]}</text>'
+        )
+        annotations = []
+        if v in step_of:
+            annotations.append(f"#{step_of[v] + 1}")
+        if evicted:
+            annotations.append(f"io={evicted}")
+        if annotations:
+            out.append(
+                f'<text x="{cx + _NODE_R + 3:.1f}" y="{cy - 6:.1f}" '
+                f'fill="#aa3300">{escape(" ".join(annotations))}</text>'
+            )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def tree_ascii(tree: TaskTree, *, max_nodes: int = 200) -> str:
+    """A quick indented text rendering (root first) for terminals."""
+    if tree.n > max_nodes:
+        raise ValueError(f"tree too large for ASCII rendering ({tree.n} nodes)")
+    lines: list[str] = []
+    # Depth-first with explicit stack; children in construction order.
+    stack: list[tuple[int, int]] = [(tree.root, 0)]
+    while stack:
+        v, depth = stack.pop()
+        lines.append(f"{'  ' * depth}{v} (w={tree.weights[v]})")
+        for c in reversed(tree.children[v]):
+            stack.append((c, depth + 1))
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.tree import TaskTree
+
+# Property tests run many algorithm invocations per example; relax the
+# per-example deadline so slow CI machines do not flake.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def task_trees(
+    draw,
+    min_nodes: int = 1,
+    max_nodes: int = 9,
+    min_weight: int = 1,
+    max_weight: int = 9,
+) -> TaskTree:
+    """Random task trees: node ``i > 0`` attaches to a uniform earlier node.
+
+    Every rooted tree shape on ``n`` nodes is reachable (up to relabeling),
+    including chains, stars and bushy mixtures.
+    """
+    n = draw(st.integers(min_nodes, max_nodes))
+    parents = [-1] + [draw(st.integers(0, i - 1)) for i in range(1, n)]
+    weights = [draw(st.integers(min_weight, max_weight)) for _ in range(n)]
+    return TaskTree(parents, weights)
+
+
+@st.composite
+def homogeneous_trees(draw, min_nodes: int = 1, max_nodes: int = 10) -> TaskTree:
+    """Random unit-weight trees (the Section 4.2 regime)."""
+    return draw(task_trees(min_nodes, max_nodes, min_weight=1, max_weight=1))
+
+
+@st.composite
+def trees_with_memory(draw, max_nodes: int = 8, max_weight: int = 9):
+    """A tree plus a memory bound inside its I/O regime ``[LB, Peak]``.
+
+    (``M = Peak`` is included: a valid bound where zero I/O is possible.)
+    """
+    from repro.algorithms.liu import min_peak_memory
+
+    tree = draw(task_trees(min_nodes=1, max_nodes=max_nodes, max_weight=max_weight))
+    lb = tree.min_feasible_memory()
+    peak = min_peak_memory(tree)
+    memory = draw(st.integers(lb, peak))
+    return tree, memory
+
+
+@pytest.fixture
+def paper_fig2b_tree() -> TaskTree:
+    from repro.datasets.instances import figure_2b
+
+    return figure_2b().tree
+
+
+@pytest.fixture
+def small_chain() -> TaskTree:
+    from repro.core.tree import chain_tree
+
+    return chain_tree([3, 5, 2, 6])  # root first
+
+
+@pytest.fixture
+def small_star() -> TaskTree:
+    from repro.core.tree import star_tree
+
+    return star_tree(2, [4, 1, 3])

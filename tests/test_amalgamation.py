@@ -1,0 +1,126 @@
+"""Tests for relaxed node amalgamation (repro.datasets.amalgamation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import TaskTree, chain_tree
+from repro.datasets.amalgamation import amalgamate
+
+from .conftest import task_trees
+
+
+class TestBasics:
+    def test_zero_threshold_is_identity(self):
+        tree = chain_tree([3, 1, 2, 1])
+        result = amalgamate(tree, absorb_below=0)
+        assert result.tree == tree
+        assert result.absorbed == 0
+        assert result.node_map == tuple(range(tree.n))
+
+    def test_small_chain_nodes_collapse(self):
+        # chain root<-5<-1<-7: the weight-1 node disappears into weight-5.
+        tree = chain_tree([9, 5, 1, 7])
+        result = amalgamate(tree, absorb_below=2)
+        assert result.absorbed == 1
+        assert result.tree.n == 3
+        assert sorted(result.tree.weights) == [5, 7, 9]
+
+    def test_absorbed_child_children_reattach(self):
+        tree = chain_tree([9, 5, 1, 7])
+        result = amalgamate(tree, absorb_below=2)
+        # The weight-7 leaf must now feed the weight-5 node directly.
+        leaf = result.tree.weights.index(7)
+        parent = result.tree.parents[leaf]
+        assert result.tree.weights[parent] == 5
+
+    def test_chains_of_small_nodes_collapse_together(self):
+        tree = chain_tree([9, 1, 1, 1, 7])
+        result = amalgamate(tree, absorb_below=2)
+        assert result.absorbed == 3
+        assert result.tree.n == 2
+
+    def test_root_never_absorbed(self):
+        tree = chain_tree([1, 1, 1])
+        result = amalgamate(tree, absorb_below=10)
+        assert result.tree.n == 1
+        root_group = result.group(0)
+        assert 0 in root_group and len(root_group) == 3
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            amalgamate(chain_tree([1]), absorb_below=-1)
+
+
+class TestProperties:
+    @given(tm=task_trees(max_nodes=12, max_weight=9), threshold=st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_result_is_a_valid_tree(self, tm, threshold):
+        result = amalgamate(tm, absorb_below=threshold)
+        assert isinstance(result.tree, TaskTree)
+        assert result.tree.n + result.absorbed == tm.n
+
+    @given(tm=task_trees(max_nodes=12, max_weight=9), threshold=st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_node_map_targets_survivors(self, tm, threshold):
+        result = amalgamate(tm, absorb_below=threshold)
+        assert all(0 <= m < result.tree.n for m in result.node_map)
+
+    @given(tm=task_trees(max_nodes=12, max_weight=9), threshold=st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_surviving_weights_preserved(self, tm, threshold):
+        """Merging never changes a surviving node's output size."""
+        result = amalgamate(tm, absorb_below=threshold)
+        surviving_old = {m for m in result.node_map}
+        for new in surviving_old:
+            group = result.group(new)
+            # Exactly one member keeps its identity (the absorber).
+            assert result.tree.weights[new] in [tm.weights[v] for v in group]
+
+    @given(tm=task_trees(max_nodes=12, max_weight=9))
+    @settings(max_examples=30)
+    def test_total_weight_never_increases(self, tm):
+        result = amalgamate(tm, absorb_below=5)
+        assert result.tree.total_weight() <= tm.total_weight()
+
+    @given(tm=task_trees(max_nodes=12, max_weight=9))
+    @settings(max_examples=30)
+    def test_fan_in_cap_respected(self, tm):
+        capped = amalgamate(tm, absorb_below=5, max_fan_in=12)
+        for v in range(capped.tree.n):
+            fan_in = sum(capped.tree.weights[c] for c in capped.tree.children[v])
+            # Nodes whose fan-in already exceeded the cap before any
+            # absorption are allowed; absorptions must not create new ones
+            # beyond the original maximum.
+            assert fan_in <= max(12, max(
+                sum(tm.weights[c] for c in tm.children[u]) for u in range(tm.n)
+            ))
+
+
+class TestTradeOff:
+    def test_amalgamation_raises_lb_but_shrinks_tree(self):
+        """The documented memory-for-granularity trade on a real etree."""
+        from repro.datasets.elimination import etree_task_tree
+        from repro.datasets.matrices import grid_laplacian_2d
+
+        tree = etree_task_tree(grid_laplacian_2d(12, 12))
+        coarse = amalgamate(tree, absorb_below=8).tree
+        assert coarse.n < tree.n
+        assert coarse.min_feasible_memory() >= tree.min_feasible_memory()
+
+    def test_scheduling_still_works_after_amalgamation(self):
+        from repro.analysis.bounds import memory_bounds
+        from repro.core.traversal import validate
+        from repro.datasets.elimination import etree_task_tree
+        from repro.datasets.matrices import grid_laplacian_2d
+        from repro.experiments.registry import get_algorithm
+
+        tree = amalgamate(
+            etree_task_tree(grid_laplacian_2d(10, 10)), absorb_below=6
+        ).tree
+        bounds = memory_bounds(tree)
+        memory = bounds.mid if bounds.has_io_regime else bounds.peak_incore
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        validate(tree, traversal, memory)

@@ -1,0 +1,78 @@
+"""Tests for memory bounds and the normalised performance metric."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.analysis.bounds import memory_bounds, paper_memory_grid, requires_io
+from repro.analysis.metrics import best_performance, overhead, performance
+from repro.core.tree import TaskTree, chain_tree, star_tree
+from repro.datasets.instances import figure_2b
+
+from .conftest import task_trees
+
+
+class TestBounds:
+    def test_chain_has_no_io_regime(self):
+        # A chain's optimal peak equals its LB: nothing to write, ever.
+        bounds = memory_bounds(chain_tree([1, 5, 2]))
+        assert bounds.lb == bounds.peak_incore == 5
+        assert not bounds.has_io_regime
+
+    def test_figure_2b_bounds(self):
+        bounds = memory_bounds(figure_2b().tree)
+        assert bounds.lb == 6  # wbar of a leaf-6 node
+        assert bounds.peak_incore == 8
+        assert bounds.m1 == 6 and bounds.m2 == 7 and bounds.mid == 6
+        assert bounds.has_io_regime
+
+    def test_grid_keys(self):
+        grid = paper_memory_grid(figure_2b().tree)
+        assert set(grid) == {"M1", "Mmid", "M2"}
+        assert grid["M1"] <= grid["Mmid"] <= grid["M2"]
+
+    def test_requires_io(self):
+        assert requires_io(figure_2b().tree)
+        assert not requires_io(chain_tree([1, 2, 3]))
+
+    @given(task_trees(max_nodes=9))
+    def test_bounds_ordering_invariant(self, tree):
+        bounds = memory_bounds(tree)
+        assert bounds.lb <= bounds.peak_incore
+        if bounds.has_io_regime:
+            assert bounds.lb <= bounds.mid <= bounds.m2
+
+    def test_star_bounds(self):
+        bounds = memory_bounds(star_tree(1, [4, 4]))
+        assert bounds.lb == 8
+        assert bounds.peak_incore == 8
+
+
+class TestPerformance:
+    def test_no_io_is_one(self):
+        assert performance(10, 0) == 1.0
+
+    def test_full_memory_is_two(self):
+        assert performance(10, 10) == 2.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            performance(0, 1)
+        with pytest.raises(ValueError):
+            performance(5, -1)
+
+    def test_best_performance(self):
+        assert best_performance({"a": 1.5, "b": 1.2}) == 1.2
+
+    def test_best_performance_empty(self):
+        with pytest.raises(ValueError):
+            best_performance({})
+
+    def test_overhead(self):
+        assert overhead(1.2, 1.0) == pytest.approx(0.2)
+        assert overhead(1.0, 1.0) == 0.0
+
+    def test_overhead_rejects_bad_best(self):
+        with pytest.raises(ValueError):
+            overhead(1.0, 0.0)

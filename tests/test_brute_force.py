@@ -1,0 +1,108 @@
+"""Tests for the exhaustive oracles themselves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.brute_force import (
+    SearchBudgetExceeded,
+    iter_postorders,
+    iter_topological_orders,
+    min_io_brute,
+    min_peak_brute,
+)
+from repro.core.traversal import is_postorder
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import task_trees
+
+
+def linear_extension_count(tree: TaskTree) -> int:
+    """The hook-length formula for rooted trees: n! / prod(subtree sizes)."""
+    total = math.factorial(tree.n)
+    for v in range(tree.n):
+        total //= tree.subtree_size(v)
+    return total
+
+
+class TestTopologicalOrders:
+    def test_chain_has_one_order(self):
+        orders = list(iter_topological_orders(chain_tree([1, 2, 3])))
+        assert orders == [[2, 1, 0]]
+
+    def test_star_has_factorial_orders(self):
+        tree = star_tree(1, [1, 1, 1])
+        orders = list(iter_topological_orders(tree))
+        assert len(orders) == 6
+        assert len({tuple(o) for o in orders}) == 6
+
+    def test_all_orders_topological(self):
+        tree = TaskTree([-1, 0, 0, 1], [1] * 4)
+        for order in iter_topological_orders(tree):
+            pos = {v: i for i, v in enumerate(order)}
+            for v in range(tree.n):
+                if tree.parents[v] != -1:
+                    assert pos[v] < pos[tree.parents[v]]
+
+    @given(task_trees(max_nodes=7))
+    @settings(max_examples=40)
+    def test_count_matches_hook_length_formula(self, tree):
+        count = sum(1 for _ in iter_topological_orders(tree))
+        assert count == linear_extension_count(tree)
+
+
+class TestPostorders:
+    def test_chain_single_postorder(self):
+        assert list(iter_postorders(chain_tree([1, 2]))) == [[1, 0]]
+
+    def test_star_postorders_are_permutations(self):
+        tree = star_tree(1, [1, 1, 1])
+        orders = list(iter_postorders(tree))
+        assert len(orders) == 6
+
+    def test_nested_count(self):
+        # root <- {a <- {x, y}, b}: 2 (x,y orders) * 2 (a/b orders) = 4.
+        tree = TaskTree([-1, 0, 0, 1, 1], [1] * 5)
+        assert len(list(iter_postorders(tree))) == 4
+
+    @given(task_trees(max_nodes=6))
+    @settings(max_examples=40)
+    def test_every_emitted_order_is_postorder(self, tree):
+        for order in iter_postorders(tree):
+            assert is_postorder(tree, order)
+
+    @given(task_trees(max_nodes=6))
+    @settings(max_examples=40)
+    def test_postorders_subset_of_topological(self, tree):
+        topo = {tuple(o) for o in iter_topological_orders(tree)}
+        posts = {tuple(o) for o in iter_postorders(tree)}
+        assert posts <= topo
+
+
+class TestBruteOptima:
+    def test_min_peak_single(self):
+        peak, sched = min_peak_brute(TaskTree([-1], [3]))
+        assert peak == 3 and sched == [0]
+
+    def test_budget_exceeded(self):
+        tree = star_tree(1, [1] * 8)  # 8! = 40320 orders
+        with pytest.raises(SearchBudgetExceeded):
+            min_peak_brute(tree, max_orders=100)
+
+    def test_min_io_zero_with_ample_memory(self):
+        io, _ = min_io_brute(star_tree(1, [2, 3]), 100)
+        assert io == 0
+
+    def test_min_io_known_instance(self):
+        # Figure 2(b): the true optimum is 3 I/Os.
+        from repro.datasets.instances import figure_2b
+
+        inst = figure_2b()
+        io, schedule = min_io_brute(inst.tree, inst.memory)
+        assert io == 3
+        from repro.core.simulator import fif_io_volume
+
+        assert fif_io_volume(inst.tree, schedule, inst.memory) == 3

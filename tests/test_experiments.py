@@ -1,0 +1,105 @@
+"""Tests for the experiment harness (registry, datasets, figure runners)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.traversal import validate
+from repro.datasets.instances import figure_2b
+from repro.experiments.datasets import SCALES, build_synth, build_trees, current_scale
+from repro.experiments.figures import run_comparison
+from repro.experiments.registry import ALGORITHMS, PAPER_ALGORITHMS, get_algorithm
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        assert set(PAPER_ALGORITHMS) <= set(ALGORITHMS)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("Quantum")
+
+    @pytest.mark.parametrize("name", sorted(ALGORITHMS))
+    def test_every_strategy_returns_valid_traversal(self, name):
+        inst = figure_2b()
+        traversal = get_algorithm(name)(inst.tree, inst.memory)
+        validate(inst.tree, traversal, inst.memory)
+
+    def test_expected_ordering_on_figure_2b(self):
+        inst = figure_2b()
+        io = {
+            name: get_algorithm(name)(inst.tree, inst.memory).io_volume
+            for name in PAPER_ALGORITHMS
+        }
+        assert io["FullRecExpand"] <= io["OptMinMem"]
+        assert io["RecExpand"] <= io["OptMinMem"]
+
+
+class TestDatasets:
+    def test_scales_exist(self):
+        assert {"tiny", "small", "paper"} <= set(SCALES)
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "nope")
+        with pytest.raises(KeyError):
+            current_scale()
+
+    def test_build_synth_tiny(self):
+        trees = build_synth("tiny")
+        scale = SCALES["tiny"]
+        assert len(trees) == scale.synth_trees
+        assert all(t.n == scale.synth_nodes for t in trees)
+
+    def test_build_synth_deterministic(self):
+        assert build_synth("tiny") == build_synth("tiny")
+
+    def test_build_trees_tiny_filtered(self):
+        from repro.analysis.bounds import memory_bounds
+
+        trees = build_trees("tiny")
+        assert trees, "tiny TREES dataset is empty"
+        assert all(memory_bounds(t).has_io_regime for t in trees)
+
+    def test_build_trees_keep_all_larger(self):
+        assert len(build_trees("tiny", keep_all=True)) >= len(build_trees("tiny"))
+
+
+class TestRunComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trees = build_synth("tiny")[:6]
+        return run_comparison(
+            "unit", trees, "Mmid", ("OptMinMem", "RecExpand", "PostOrderMinIO")
+        )
+
+    def test_result_shape(self, result):
+        assert result.num_instances <= 6
+        assert set(result.io_volumes) == {"OptMinMem", "RecExpand", "PostOrderMinIO"}
+        assert len(result.memories) == result.num_instances
+
+    def test_profile_consistent_with_io(self, result):
+        for alg in result.algorithms:
+            perfs = result.profile.performances[alg]
+            for perf, io, mem in zip(perfs, result.io_volumes[alg], result.memories):
+                assert perf == pytest.approx((mem + io) / mem)
+
+    def test_summary_mentions_algorithms(self, result):
+        text = result.summary()
+        for alg in result.algorithms:
+            assert alg in text
+
+    def test_differing_subset_smaller(self, result):
+        try:
+            sub = result.differing_subset()
+        except ValueError:
+            pytest.skip("all algorithms equal on the tiny sample")
+        assert sub.num_instances <= result.num_instances
+        for i in range(sub.num_instances):
+            values = {sub.io_volumes[a][i] for a in sub.algorithms}
+            assert len(values) > 1
+
+    def test_unknown_bound_raises(self):
+        with pytest.raises(KeyError):
+            run_comparison("x", build_synth("tiny")[:2], "M7", ("OptMinMem",))

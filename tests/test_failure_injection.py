@@ -1,0 +1,146 @@
+"""Failure injection: corrupted inputs must be *rejected*, not absorbed.
+
+A production scheduler is judged by what it refuses: these tests mutate
+valid artefacts (schedules, I/O functions, trees, priorities) in every
+structured way and assert the checking layers catch each corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.simulator import InfeasibleSchedule, fif_traversal, simulate_fif
+from repro.core.traversal import InvalidTraversal, Traversal, validate
+from repro.core.tree import TaskTree, TreeError
+from repro.datasets.instances import figure_2b
+
+from .conftest import trees_with_memory
+
+
+class TestCorruptedSchedules:
+    @given(trees_with_memory(max_nodes=8), st.data())
+    @settings(max_examples=60)
+    def test_swapping_parent_child_rejected(self, tree_memory, data):
+        tree, memory = tree_memory
+        if tree.n < 2:
+            return
+        traversal = fif_traversal(
+            tree, list(reversed(tree.topological_order())), memory
+        )
+        schedule = list(traversal.schedule)
+        # Swap a node with its parent: always an order violation.
+        v = data.draw(
+            st.sampled_from([u for u in range(tree.n) if tree.parents[u] != -1])
+        )
+        p = tree.parents[v]
+        i, j = schedule.index(v), schedule.index(p)
+        schedule[i], schedule[j] = schedule[j], schedule[i]
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal(tuple(schedule), traversal.io), memory)
+
+    @given(trees_with_memory(max_nodes=8))
+    @settings(max_examples=40)
+    def test_duplicating_a_step_rejected(self, tree_memory):
+        tree, memory = tree_memory
+        if tree.n < 2:
+            return
+        traversal = fif_traversal(
+            tree, list(reversed(tree.topological_order())), memory
+        )
+        schedule = list(traversal.schedule)
+        schedule[-1] = schedule[0]
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal(tuple(schedule), traversal.io), memory)
+
+    def test_truncated_schedule_rejected(self):
+        inst = figure_2b()
+        traversal = fif_traversal(
+            inst.tree, list(reversed(inst.tree.topological_order())), inst.memory
+        )
+        with pytest.raises(InvalidTraversal):
+            validate(
+                inst.tree,
+                Traversal(traversal.schedule[:-1], traversal.io),
+                inst.memory,
+            )
+
+
+class TestCorruptedIOFunctions:
+    @given(trees_with_memory(max_nodes=8), st.data())
+    @settings(max_examples=60)
+    def test_reducing_necessary_io_rejected(self, tree_memory, data):
+        """Removing a unit from any tau that FiF deemed necessary at a
+        *binding* memory bound must break validity."""
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        result = simulate_fif(tree, schedule, memory)
+        binding = [v for v, amount in result.io.items() if amount > 0]
+        if not binding:
+            return
+        v = data.draw(st.sampled_from(binding))
+        io = list(result.io_list(tree.n))
+        io[v] -= 1
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal(tuple(schedule), tuple(io)), memory)
+
+    @given(trees_with_memory(max_nodes=8), st.data())
+    @settings(max_examples=40)
+    def test_inflating_io_beyond_weight_rejected(self, tree_memory, data):
+        tree, memory = tree_memory
+        schedule = tuple(reversed(tree.topological_order()))
+        result = simulate_fif(tree, schedule, memory)
+        io = list(result.io_list(tree.n))
+        v = data.draw(st.integers(0, tree.n - 1))
+        io[v] = tree.weights[v] + 1
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal(schedule, tuple(io)), memory)
+
+
+class TestCorruptedTrees:
+    def test_self_parent_rejected(self):
+        with pytest.raises(TreeError):
+            TaskTree([0], [1])
+
+    def test_forest_rejected(self):
+        with pytest.raises(TreeError):
+            TaskTree([-1, -1, 0], [1, 1, 1])
+
+    def test_parent_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            TaskTree([-1, 2, 3, 1], [1, 1, 1, 1])
+
+    def test_float_weights_rejected(self):
+        with pytest.raises(TreeError):
+            TaskTree([-1, 0], [1, 2.5])
+
+
+class TestSimulatorRefusals:
+    def test_overlarge_wbar_always_raises(self):
+        tree = TaskTree([-1, 0, 0], [1, 4, 4])
+        with pytest.raises(InfeasibleSchedule):
+            simulate_fif(tree, [1, 2, 0], 7)  # root needs 8
+
+    def test_partial_schedules_allowed_but_consistent(self):
+        # Subtree schedules are a feature, not a corruption: the missing
+        # parent is simply treated as "never consumed".
+        tree = TaskTree([-1, 0, 1], [1, 2, 3])
+        res = simulate_fif(tree, [2, 1], 5)
+        assert res.io_volume == 0
+
+
+class TestParallelRefusals:
+    def test_priority_must_cover_all_nodes(self):
+        from repro.parallel import simulate_parallel
+
+        tree = TaskTree([-1, 0], [1, 1])
+        with pytest.raises(ValueError):
+            simulate_parallel(tree, 10, 2, [0, 1, 2])
+
+    def test_memory_below_wbar_refused_before_simulation(self):
+        from repro.parallel import simulate_parallel
+
+        tree = TaskTree([-1, 0, 0], [1, 4, 4])
+        with pytest.raises(ValueError, match="feasible"):
+            simulate_parallel(tree, 7, 2, [0, 1, 2])

@@ -1,0 +1,196 @@
+"""Tests for the parametric tree families and weight models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import TaskTree
+from repro.datasets.families import (
+    FAMILIES,
+    bouquet,
+    caterpillar,
+    complete_kary,
+    front_weights,
+    powerlaw_weights,
+    preferential_attachment_tree,
+    random_prufer_tree,
+    spider,
+    uniform_weights,
+)
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        tree = caterpillar(4, leaf_weight=7, leaves_per_node=2)
+        assert tree.n == 4 * 3
+        assert tree.root == 0
+        # Every spine node (including the tip) carries its pendant leaves,
+        # so the leaves are exactly the 4*2 pendants.
+        assert len(tree.leaves()) == 8
+
+    def test_leaf_count_exact(self):
+        tree = caterpillar(5, leaves_per_node=3)
+        # Every spine node has 3 pendant leaves; the deepest spine node is
+        # itself internal (it has leaves), so leaves == 5*3.
+        assert len(tree.leaves()) == 15
+
+    def test_depth_is_spine_length(self):
+        tree = caterpillar(6, leaves_per_node=1)
+        assert tree.depth() == 6  # 5 spine edges + 1 leaf edge
+
+    def test_rejects_empty_spine(self):
+        with pytest.raises(ValueError):
+            caterpillar(0)
+
+    def test_postorder_pain(self):
+        """Heavy-leaf caterpillars are bad for postorders (Fig 2a's trait)."""
+        from repro.analysis.bounds import memory_bounds
+        from repro.experiments.registry import get_algorithm
+
+        tree = caterpillar(10, spine_weight=1, leaf_weight=16, leaves_per_node=2)
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            pytest.skip("no I/O regime for this parametrisation")
+        memory = bounds.mid
+        postorder = get_algorithm("PostOrderMinIO")(tree, memory).io_volume
+        rec = get_algorithm("RecExpand")(tree, memory).io_volume
+        assert rec <= postorder
+
+
+class TestSpiderAndBouquet:
+    def test_spider_counts(self):
+        tree = spider(5, 3)
+        assert tree.n == 1 + 5 * 3
+        assert len(tree.children[0]) == 5
+
+    def test_weight_profile_applied_per_leg(self):
+        tree = spider(2, 3, leg_weight=[5, 3, 9])
+        for leg_top in tree.children[0]:
+            chain = [leg_top]
+            while tree.children[chain[-1]]:
+                chain.append(tree.children[chain[-1]][0])
+            assert [tree.weights[v] for v in chain] == [5, 3, 9]
+
+    def test_profile_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spider(2, 3, leg_weight=[1, 2])
+
+    def test_bouquet_is_figure_2b_shape(self):
+        tree = bouquet(2, 4, weight=3)
+        assert tree.n == 9
+        assert len(tree.children[tree.root]) == 2
+
+
+class TestKary:
+    def test_node_count(self):
+        tree = complete_kary(3, 2)
+        assert tree.n == 2**4 - 1
+
+    def test_depth_weight_function(self):
+        tree = complete_kary(2, 2, weight=lambda d: 10 - d)
+        assert tree.weights[tree.root] == 10
+        assert all(tree.weights[v] == 8 for v in tree.leaves())
+
+    def test_unary_chain_degenerate(self):
+        tree = complete_kary(4, 1)
+        assert tree.n == 5
+        assert tree.depth() == 4
+
+    def test_rejects_zero_arity(self):
+        with pytest.raises(ValueError):
+            complete_kary(2, 0)
+
+
+class TestRandomFamilies:
+    @given(n=st.integers(1, 40), seed=st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_prufer_produces_valid_trees(self, n, seed):
+        tree = random_prufer_tree(n, np.random.default_rng(seed))
+        assert isinstance(tree, TaskTree)
+        assert tree.n == n
+        assert tree.root == 0
+
+    def test_prufer_seed_determinism(self):
+        a = random_prufer_tree(25, np.random.default_rng(42))
+        b = random_prufer_tree(25, np.random.default_rng(42))
+        assert a == b
+
+    def test_prufer_covers_nonbinary_shapes(self):
+        """Some draw must have a node with 3+ children (binary can't)."""
+        rng = np.random.default_rng(7)
+        found = False
+        for _ in range(20):
+            tree = random_prufer_tree(12, rng)
+            if any(len(c) >= 3 for c in tree.children):
+                found = True
+                break
+        assert found
+
+    @given(n=st.integers(1, 40), seed=st.integers(0, 2**31))
+    @settings(max_examples=30)
+    def test_preferential_attachment_valid(self, n, seed):
+        tree = preferential_attachment_tree(n, np.random.default_rng(seed))
+        assert tree.n == n
+
+    def test_bias_increases_hubbiness(self):
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        flat = preferential_attachment_tree(200, rng_a, bias=0.0)
+        hubby = preferential_attachment_tree(200, rng_b, bias=2.5)
+        max_deg_flat = max(len(c) for c in flat.children)
+        max_deg_hub = max(len(c) for c in hubby.children)
+        assert max_deg_hub > max_deg_flat
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            random_prufer_tree(5, np.random.default_rng(0), weights=[1, 2])
+        with pytest.raises(ValueError):
+            preferential_attachment_tree(5, np.random.default_rng(0), weights=[1])
+
+
+class TestWeightModels:
+    def test_uniform_range(self):
+        w = uniform_weights(500, np.random.default_rng(0), low=3, high=9)
+        assert min(w) >= 3 and max(w) <= 9
+
+    def test_powerlaw_is_heavy_tailed(self):
+        w = powerlaw_weights(3000, np.random.default_rng(1), alpha=1.8)
+        assert max(w) > 20 * np.median(w)  # a dominant output exists
+        assert min(w) >= 1
+
+    def test_powerlaw_clamped(self):
+        w = powerlaw_weights(500, np.random.default_rng(2), alpha=1.2, w_max=100)
+        assert max(w) <= 100
+
+    def test_powerlaw_alpha_validated(self):
+        with pytest.raises(ValueError):
+            powerlaw_weights(10, np.random.default_rng(0), alpha=1.0)
+
+    def test_front_weights_grow_toward_root(self):
+        tree = complete_kary(3, 2)
+        w = front_weights(tree)
+        assert w[tree.root] == max(w)
+        assert all(w[v] == 1 for v in tree.leaves())
+
+    def test_front_weights_quadratic(self):
+        from repro.core.tree import chain_tree
+
+        tree = chain_tree([1, 1, 1, 1])  # root height 3
+        assert front_weights(tree) == [16, 9, 4, 1]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_every_family_builds_and_schedules(self, name):
+        from repro.analysis.bounds import memory_bounds
+        from repro.core.traversal import validate
+        from repro.experiments.registry import get_algorithm
+
+        tree = FAMILIES[name](np.random.default_rng(11))
+        bounds = memory_bounds(tree)
+        memory = bounds.mid if bounds.has_io_regime else bounds.peak_incore
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        validate(tree, traversal, memory)

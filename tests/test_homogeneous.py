@@ -1,0 +1,133 @@
+"""Tests for the homogeneous-tree machinery (Section 4.2, Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.algorithms.brute_force import min_io_brute
+from repro.algorithms.homogeneous import (
+    homogeneous_labels,
+    optimal_io,
+    postorder_schedule,
+)
+from repro.algorithms.liu import min_peak_memory
+from repro.algorithms.postorder import postorder_min_io
+from repro.core.simulator import fif_io_volume, schedule_peak_memory
+from repro.core.traversal import is_postorder
+from repro.core.tree import TaskTree, balanced_binary_tree, chain_tree, star_tree
+
+from .conftest import homogeneous_trees
+
+
+class TestGuards:
+    def test_rejects_non_homogeneous(self):
+        with pytest.raises(ValueError, match="homogeneous"):
+            homogeneous_labels(TaskTree([-1, 0], [1, 2]), 5)
+
+    def test_rejects_too_small_memory(self):
+        tree = star_tree(1, [1, 1, 1])  # wbar(root) = 3
+        with pytest.raises(ValueError, match="minimal feasible"):
+            homogeneous_labels(tree, 2)
+
+
+class TestLLabels:
+    def test_leaf_label_is_one(self):
+        labels = homogeneous_labels(TaskTree([-1], [1]), 1)
+        assert labels.l == (1,)
+
+    def test_chain_label_is_one(self):
+        tree = chain_tree([1, 1, 1, 1])
+        labels = homogeneous_labels(tree, 1)
+        assert set(labels.l) == {1}
+
+    def test_star_label_equals_degree(self):
+        tree = star_tree(1, [1] * 4)
+        labels = homogeneous_labels(tree, 4)
+        assert labels.l[tree.root] == 4
+
+    def test_balanced_binary_label_grows_with_depth(self):
+        # Sethi–Ullman numbers: depth-d complete binary tree needs d+1 slots.
+        for depth in (1, 2, 3, 4):
+            tree = balanced_binary_tree(depth)
+            labels = homogeneous_labels(tree, tree.n)
+            assert labels.l[tree.root] == depth + 1
+
+    @given(homogeneous_trees(max_nodes=10))
+    def test_l_equals_min_peak(self, tree):
+        """l(root) is exactly the MinMem optimum on unit-weight trees."""
+        labels = homogeneous_labels(tree, max(tree.min_feasible_memory(), tree.n))
+        assert labels.l[tree.root] == min_peak_memory(tree)
+
+    @given(homogeneous_trees(max_nodes=10))
+    def test_postorder_realises_l(self, tree):
+        schedule = postorder_schedule(tree)
+        labels = homogeneous_labels(tree, max(tree.min_feasible_memory(), tree.n))
+        assert schedule_peak_memory(tree, schedule) == labels.l[tree.root]
+        assert is_postorder(tree, schedule)
+
+
+class TestCWLabels:
+    def test_no_io_when_memory_equals_peak(self):
+        tree = balanced_binary_tree(3)
+        peak = min_peak_memory(tree)
+        assert optimal_io(tree, peak) == 0
+
+    def test_io_at_tight_memory(self):
+        tree = balanced_binary_tree(3)
+        peak = min_peak_memory(tree)
+        assert optimal_io(tree, peak - 1) > 0
+
+    def test_c_zero_for_first_child(self):
+        tree = star_tree(1, [1] * 5)
+        labels = homogeneous_labels(tree, 5)
+        first = labels.child_order[tree.root][0]
+        assert labels.c[first] == 0
+
+    def test_w_sums_children_c(self):
+        tree = balanced_binary_tree(3)
+        labels = homogeneous_labels(tree, tree.min_feasible_memory())
+        for v in range(tree.n):
+            assert labels.w[v] == sum(labels.c[u] for u in tree.children[v])
+
+    def test_total_is_sum_of_w(self):
+        tree = balanced_binary_tree(4)
+        labels = homogeneous_labels(tree, tree.min_feasible_memory())
+        assert labels.total == sum(labels.w)
+
+    def test_star_io_is_overflow(self):
+        # A k-leaf star with M >= k never writes; the root step is wbar.
+        tree = star_tree(1, [1] * 6)
+        assert optimal_io(tree, 6) == 0
+
+
+class TestTheorem4:
+    @given(homogeneous_trees(min_nodes=2, max_nodes=9))
+    @settings(max_examples=60)
+    def test_w_equals_brute_force_optimum(self, tree):
+        lb = tree.min_feasible_memory()
+        peak = min_peak_memory(tree)
+        if peak == lb:
+            return
+        for memory in range(lb, peak):
+            w = optimal_io(tree, memory)
+            brute, _ = min_io_brute(tree, memory)
+            assert w == brute
+
+    @given(homogeneous_trees(min_nodes=2, max_nodes=9))
+    @settings(max_examples=60)
+    def test_postorderminio_is_optimal_on_homogeneous(self, tree):
+        """Theorem 4: the best postorder matches the global optimum W(T)."""
+        lb = tree.min_feasible_memory()
+        peak = min_peak_memory(tree)
+        for memory in range(lb, peak + 1):
+            res = postorder_min_io(tree, memory)
+            assert res.predicted_io == optimal_io(tree, memory)
+
+    @given(homogeneous_trees(min_nodes=2, max_nodes=10), st.integers(0, 3))
+    def test_postorder_schedule_achieves_w(self, tree, slack):
+        lb = tree.min_feasible_memory()
+        memory = lb + slack
+        schedule = postorder_schedule(tree)
+        assert fif_io_volume(tree, schedule, memory) == optimal_io(tree, memory)

@@ -1,0 +1,184 @@
+"""Exactness tests for the paper's hand-crafted instances.
+
+Every claim the paper makes about Figures 2, 6 and 7 is pinned here with
+exact numbers (up to documented tie-breaking freedom in OPTMINMEM).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.brute_force import min_io_brute
+from repro.algorithms.liu import opt_min_mem
+from repro.algorithms.postorder import postorder_min_io
+from repro.algorithms.rec_expand import full_rec_expand
+from repro.core.simulator import fif_io_volume, schedule_peak_memory
+from repro.core.traversal import validate
+from repro.datasets.instances import (
+    figure_2a,
+    figure_2b,
+    figure_2c,
+    figure_6,
+    figure_7,
+)
+
+
+class TestFigure2a:
+    def test_base_structure(self):
+        inst = figure_2a(16)
+        assert inst.tree.n == 15
+        assert inst.memory == 16
+
+    def test_witness_does_one_io(self):
+        inst = figure_2a(16)
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 1
+
+    def test_witness_valid(self):
+        inst = figure_2a(16)
+        from repro.core.simulator import fif_traversal
+
+        validate(
+            inst.tree,
+            fif_traversal(inst.tree, inst.witness_schedule, inst.memory),
+            inst.memory,
+        )
+
+    @pytest.mark.parametrize("ext", [1, 2, 3])
+    def test_extensions_keep_one_io(self, ext):
+        inst = figure_2a(16, extensions=ext)
+        assert inst.tree.n == 15 + 4 * ext
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 1
+
+    @pytest.mark.parametrize("memory", [8, 16, 32])
+    def test_postorder_pays_per_leaf(self, memory):
+        """Ω(n·M): every postorder pays ≥ M/2 - 1 per leaf beyond the first."""
+        inst = figure_2a(memory, extensions=2)
+        leaves = len(inst.tree.leaves())
+        res = postorder_min_io(inst.tree, inst.memory)
+        assert res.predicted_io >= (leaves - 1) * (memory // 2 - 1)
+
+    def test_gap_grows_with_extensions(self):
+        m = 16
+        gap = []
+        for ext in (0, 2, 4):
+            inst = figure_2a(m, extensions=ext)
+            po = postorder_min_io(inst.tree, inst.memory).predicted_io
+            gap.append(po)
+        assert gap[0] < gap[1] < gap[2]
+
+    def test_rejects_odd_or_small_memory(self):
+        with pytest.raises(ValueError):
+            figure_2a(7)
+        with pytest.raises(ValueError):
+            figure_2a(6)
+
+
+class TestFigure2b:
+    def test_structure(self):
+        inst = figure_2b()
+        assert inst.tree.n == 9
+        assert inst.memory == 6
+
+    def test_minimum_peak_is_8(self):
+        _, peak = opt_min_mem(figure_2b().tree)
+        assert peak == 8
+
+    def test_witness_chain_by_chain(self):
+        inst = figure_2b()
+        assert schedule_peak_memory(inst.tree, inst.witness_schedule) == 9
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 3
+
+    def test_optimum_is_3(self):
+        inst = figure_2b()
+        opt, _ = min_io_brute(inst.tree, inst.memory)
+        assert opt == 3
+
+    def test_optminmem_pays_more(self):
+        """Any minimum-peak schedule pays > 3 (the paper's exhibit pays 4;
+        tie-breaking may pick another optimal-peak schedule, still > 3)."""
+        inst = figure_2b()
+        schedule, peak = opt_min_mem(inst.tree)
+        assert peak == 8
+        assert fif_io_volume(inst.tree, schedule, inst.memory) >= 4
+
+
+class TestFigure2c:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6])
+    def test_structure(self, k):
+        inst = figure_2c(k)
+        assert inst.tree.n == 2 * (2 * k + 2) + 1
+        assert inst.memory == 4 * k
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_peak_is_5k(self, k):
+        _, peak = opt_min_mem(figure_2c(k).tree)
+        assert peak == 5 * k
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6])
+    def test_witness_pays_2k(self, k):
+        inst = figure_2c(k)
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 2 * k
+
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 8])
+    def test_optminmem_pays_quadratic(self, k):
+        """The competitive ratio grows at least linearly in k."""
+        inst = figure_2c(k)
+        schedule, _ = opt_min_mem(inst.tree)
+        io = fif_io_volume(inst.tree, schedule, inst.memory)
+        assert io >= k * k
+        assert io / (2 * k) >= k / 2  # ratio vs the witness
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            figure_2c(0)
+
+
+class TestFigure6:
+    def test_structure(self):
+        inst = figure_6()
+        assert inst.tree.n == 8
+        assert inst.memory == 10
+
+    def test_true_optimum_is_3(self):
+        inst = figure_6()
+        opt, _ = min_io_brute(inst.tree, inst.memory)
+        assert opt == 3
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 3
+
+    def test_optminmem_pays_4(self):
+        inst = figure_6()
+        schedule, peak = opt_min_mem(inst.tree)
+        assert peak == 12
+        assert fif_io_volume(inst.tree, schedule, inst.memory) == 4
+
+    def test_postorder_pays_4(self):
+        inst = figure_6()
+        assert postorder_min_io(inst.tree, inst.memory).predicted_io == 4
+
+    def test_full_rec_expand_is_optimal_here(self):
+        inst = figure_6()
+        assert full_rec_expand(inst.tree, inst.memory).io_volume == 3
+
+
+class TestFigure7:
+    def test_structure(self):
+        inst = figure_7()
+        assert inst.tree.n == 7
+        assert inst.memory == 7
+
+    def test_postorder_is_optimal_here(self):
+        inst = figure_7()
+        opt, _ = min_io_brute(inst.tree, inst.memory)
+        assert opt == 3
+        assert postorder_min_io(inst.tree, inst.memory).predicted_io == 3
+
+    def test_optminmem_and_full_rec_expand_pay_4(self):
+        inst = figure_7()
+        schedule, peak = opt_min_mem(inst.tree)
+        assert peak == 9
+        assert fif_io_volume(inst.tree, schedule, inst.memory) == 4
+        assert full_rec_expand(inst.tree, inst.memory).io_volume == 4
+
+    def test_witness(self):
+        inst = figure_7()
+        assert fif_io_volume(inst.tree, inst.witness_schedule, inst.memory) == 3

@@ -1,0 +1,144 @@
+"""Tests for the whole-node (integral) I/O variant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.integral_io import (
+    integrality_gap,
+    min_whole_node_io_brute,
+    min_whole_node_io_given_schedule,
+    whole_node_fif,
+)
+from repro.core.simulator import InfeasibleSchedule, simulate_fif
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import trees_with_memory
+
+
+def two_chain_tree() -> TaskTree:
+    """root(1) <- {A(2) <- leafA(5), B(3) <- leafB(6)}"""
+    return TaskTree([-1, 0, 1, 0, 3], [1, 2, 5, 3, 6])
+
+
+class TestWholeNodeGreedy:
+    def test_no_io_with_ample_memory(self):
+        tree = two_chain_tree()
+        res = whole_node_fif(tree, [2, 1, 4, 3, 0], 100)
+        assert res.io_volume == 0 and not res.evicted
+
+    def test_whole_eviction_overshoots(self):
+        # Fractional FiF writes exactly 1 unit of A; integral must write
+        # the whole 2-unit output.
+        tree = two_chain_tree()
+        schedule = [2, 1, 4, 3, 0]
+        frac = simulate_fif(tree, schedule, 7).io_volume
+        whole = whole_node_fif(tree, schedule, 7)
+        assert frac == 1
+        assert whole.io_volume == 2
+        assert whole.evicted == {1}
+
+    def test_infeasible_raises(self):
+        tree = chain_tree([1, 9])
+        with pytest.raises(InfeasibleSchedule):
+            whole_node_fif(tree, [1, 0], 8)
+
+    def test_zero_weight_nodes_skipped(self):
+        tree = TaskTree([-1, 0, 1], [2, 0, 2])
+        res = whole_node_fif(tree, [2, 1, 0], 2)
+        assert res.io_volume == 0
+
+    @given(trees_with_memory())
+    @settings(max_examples=60)
+    def test_integral_at_least_fractional(self, tree_memory):
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        frac = simulate_fif(tree, schedule, memory).io_volume
+        whole = whole_node_fif(tree, schedule, memory)
+        assert whole.io_volume >= frac
+        assert whole.io_volume == sum(tree.weights[v] for v in whole.evicted)
+
+
+class TestExactGivenSchedule:
+    def test_matches_greedy_when_greedy_is_right(self):
+        tree = two_chain_tree()
+        schedule = [2, 1, 4, 3, 0]
+        exact = min_whole_node_io_given_schedule(tree, schedule, 7)
+        assert exact.io_volume == 2
+
+    def test_beats_greedy_on_knapsack_instance(self):
+        # Overflow of 1 with actives {3, 2}: greedy (furthest-first) may
+        # evict the 3-unit output where evicting the 2-unit one suffices.
+        # root(1) <- {a(3) <- x(6), b(2) <- y(6), c(1) <- z(6)}
+        tree = TaskTree(
+            [-1, 0, 1, 0, 3, 0, 5],
+            [1, 3, 6, 2, 6, 1, 6],
+        )
+        # schedule: x, a, y, b, z, c, root; M = 8.
+        schedule = [2, 1, 4, 3, 6, 5, 0]
+        greedy = whole_node_fif(tree, schedule, 8)
+        exact = min_whole_node_io_given_schedule(tree, schedule, 8)
+        assert exact.io_volume <= greedy.io_volume
+        frac = simulate_fif(tree, schedule, 8).io_volume
+        assert exact.io_volume >= frac
+
+    @given(trees_with_memory(max_nodes=6))
+    @settings(max_examples=40)
+    def test_exact_never_above_greedy(self, tree_memory):
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        greedy = whole_node_fif(tree, schedule, memory)
+        exact = min_whole_node_io_given_schedule(tree, schedule, memory)
+        assert exact.io_volume <= greedy.io_volume
+        assert exact.io_volume >= simulate_fif(tree, schedule, memory).io_volume
+
+
+class TestBruteForce:
+    def test_star_known_value(self):
+        tree = star_tree(1, [2, 2])
+        # M = 4 fits everything: zero I/O.
+        io, _ = min_whole_node_io_brute(tree, 4)
+        assert io == 0
+
+    def test_figure_2b_integral_optimum(self):
+        from repro.datasets.instances import figure_2b
+
+        inst = figure_2b()
+        io, schedule = min_whole_node_io_brute(inst.tree, inst.memory)
+        # Fractional optimum is 3; integral must be >= and is exactly 3
+        # (the witness writes a whole 3-unit output).
+        assert io == 3
+        exact = min_whole_node_io_given_schedule(inst.tree, schedule, inst.memory)
+        assert exact.io_volume == 3
+
+    @given(trees_with_memory(max_nodes=5))
+    @settings(max_examples=30)
+    def test_integral_optimum_at_least_fractional_optimum(self, tree_memory):
+        from repro.algorithms.brute_force import min_io_brute
+
+        tree, memory = tree_memory
+        frac, _ = min_io_brute(tree, memory)
+        whole, _ = min_whole_node_io_brute(tree, memory)
+        assert whole >= frac
+
+
+class TestIntegralityGap:
+    def test_gap_fields(self):
+        tree = two_chain_tree()
+        gap = integrality_gap(tree, [2, 1, 4, 3, 0], 7, exact=True)
+        assert gap.fractional == 1
+        assert gap.integral_greedy == 2
+        assert gap.integral_exact == 2
+        assert gap.gap == 1
+
+    def test_gap_without_exact_uses_greedy(self):
+        tree = two_chain_tree()
+        gap = integrality_gap(tree, [2, 1, 4, 3, 0], 7)
+        assert gap.integral_exact is None
+        assert gap.gap == 1
+
+    def test_zero_gap_when_memory_ample(self):
+        tree = two_chain_tree()
+        gap = integrality_gap(tree, [2, 1, 4, 3, 0], 100, exact=True)
+        assert gap.fractional == gap.integral_greedy == gap.integral_exact == 0

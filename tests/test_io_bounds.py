@@ -1,0 +1,107 @@
+"""Tests for the certified I/O lower bounds and the Portfolio strategy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.brute_force import min_io_brute
+from repro.analysis.io_bounds import IOLowerBound, io_lower_bound, peak_io_lower_bound
+from repro.core.traversal import validate
+from repro.core.tree import chain_tree, star_tree
+from repro.experiments.registry import get_algorithm
+
+from .conftest import homogeneous_trees, trees_with_memory
+
+
+class TestPeakBound:
+    @given(tm=trees_with_memory(max_nodes=7, max_weight=9))
+    @settings(max_examples=50)
+    def test_never_exceeds_the_optimum(self, tm):
+        tree, memory = tm
+        opt, _ = min_io_brute(tree, memory)
+        assert peak_io_lower_bound(tree, memory) <= opt
+
+    def test_zero_when_memory_at_peak(self):
+        from repro.algorithms.liu import min_peak_memory
+
+        tree = chain_tree([3, 5, 2, 6])
+        assert peak_io_lower_bound(tree, min_peak_memory(tree)) == 0
+
+    def test_tight_on_a_star(self):
+        # Star roots force all leaves resident: peak == wbar(root), and
+        # every unit above M must be written.
+        tree = star_tree(1, [4, 4, 4])
+        assert peak_io_lower_bound(tree, 12) == 0
+        opt, _ = min_io_brute(tree, 12)
+        assert opt == 0
+
+    def test_weak_on_figure_2a(self):
+        """The documented weakness: optimum 1, bound stuck near zero."""
+        from repro.datasets.instances import figure_2a
+
+        inst = figure_2a()
+        assert peak_io_lower_bound(inst.tree, inst.memory) <= 1
+
+
+class TestBestBound:
+    @given(tm=trees_with_memory(max_nodes=7, max_weight=9))
+    @settings(max_examples=50)
+    def test_sound_on_heterogeneous_trees(self, tm):
+        tree, memory = tm
+        opt, _ = min_io_brute(tree, memory)
+        bound = io_lower_bound(tree, memory)
+        assert bound.value <= opt
+
+    @given(tree=homogeneous_trees(max_nodes=8))
+    @settings(max_examples=40)
+    def test_exact_on_homogeneous_trees(self, tree):
+        memory = max(tree.min_feasible_memory(), 2)
+        opt, _ = min_io_brute(tree, memory)
+        bound = io_lower_bound(tree, memory)
+        assert bound.exact
+        assert bound.source == "homogeneous"
+        assert bound.value == opt
+
+    def test_infeasible_memory_raises(self):
+        tree = star_tree(1, [4, 4])
+        with pytest.raises(ValueError):
+            io_lower_bound(tree, 7)
+
+    def test_provenance_labels(self):
+        hom = io_lower_bound(chain_tree([1, 1, 1]), 2)
+        assert isinstance(hom, IOLowerBound) and hom.source == "homogeneous"
+        het = io_lower_bound(chain_tree([3, 5, 2, 6]), 7)
+        assert het.source in ("peak", "trivial")
+
+
+class TestPortfolio:
+    @given(tm=trees_with_memory(max_nodes=8, max_weight=9))
+    @settings(max_examples=40)
+    def test_portfolio_never_worse_than_members(self, tm):
+        tree, memory = tm
+        portfolio = get_algorithm("Portfolio")(tree, memory)
+        validate(tree, portfolio, memory)
+        for name in ("OptMinMem", "PostOrderMinIO", "RecExpand"):
+            member = get_algorithm(name)(tree, memory)
+            assert portfolio.io_volume <= member.io_volume
+
+    def test_portfolio_wins_on_both_appendix_figures(self):
+        """Fig 6 favours RecExpand, Fig 7 the postorder; Portfolio gets both."""
+        from repro.datasets.instances import figure_6, figure_7
+
+        for inst in (figure_6(), figure_7()):
+            t = get_algorithm("Portfolio")(inst.tree, inst.memory)
+            assert t.io_volume == 3  # the optimum in both cases
+
+
+class TestExactRegistryEntry:
+    def test_exact_strategy_on_small_tree(self):
+        tree = chain_tree([3, 5, 2, 6])
+        t = get_algorithm("Exact")(tree, 7)
+        validate(tree, t, 7)
+
+    def test_exact_strategy_guards_large_trees(self):
+        tree = chain_tree([1] * 30)
+        with pytest.raises(ValueError):
+            get_algorithm("Exact")(tree, 2)

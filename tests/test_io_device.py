@@ -1,0 +1,82 @@
+"""Tests for the disk timing model (repro.io.device)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import star_tree
+from repro.io.device import HDD, SSD, DiskModel, coalesce_runs, estimate_time
+from repro.io.pager import PageEvent, paged_io
+
+
+def _ev(op: str, *pages: int) -> list[PageEvent]:
+    return [PageEvent(step=i, op=op, page=p, node=0) for i, p in enumerate(pages)]
+
+
+class TestCoalesce:
+    def test_empty_trace(self):
+        assert coalesce_runs([]) == []
+
+    def test_single_event_is_one_run(self):
+        assert coalesce_runs(_ev("write", 5)) == [("write", 5, 1)]
+
+    def test_ascending_pages_coalesce(self):
+        assert coalesce_runs(_ev("write", 3, 4, 5)) == [("write", 3, 3)]
+
+    def test_descending_pages_coalesce(self):
+        assert coalesce_runs(_ev("read", 9, 8, 7)) == [("read", 9, 3)]
+
+    def test_direction_change_breaks_run(self):
+        runs = coalesce_runs(_ev("write", 3, 4, 3))
+        assert runs == [("write", 3, 2), ("write", 3, 1)]
+
+    def test_gap_breaks_run(self):
+        runs = coalesce_runs(_ev("write", 1, 2, 9, 10))
+        assert runs == [("write", 1, 2), ("write", 9, 2)]
+
+    def test_op_change_breaks_run(self):
+        events = _ev("write", 1, 2) + _ev("read", 3, 4)
+        runs = coalesce_runs(events)
+        assert runs == [("write", 1, 2), ("read", 3, 2)]
+
+
+class TestEstimate:
+    def test_empty_trace_costs_nothing(self):
+        stats = estimate_time([])
+        assert stats.seconds == 0.0 and stats.runs == 0
+
+    def test_one_long_run_beats_scattered_pages(self):
+        contiguous = estimate_time(_ev("write", *range(100)))
+        scattered = estimate_time(_ev("write", *range(0, 200, 2)))
+        assert contiguous.seconds < scattered.seconds
+        assert contiguous.runs == 1
+        assert scattered.runs == 100
+
+    def test_ssd_much_faster_than_hdd_on_random_io(self):
+        events = _ev("write", *range(0, 100, 2))
+        assert estimate_time(events, SSD).seconds < estimate_time(events, HDD).seconds
+
+    def test_read_factor_scales_reads_only(self):
+        slow_reads = DiskModel(seek_seconds=0.0, bandwidth_pages=1000.0, read_factor=3.0)
+        writes = estimate_time(_ev("write", *range(10)), slow_reads)
+        reads = estimate_time(_ev("read", *range(10)), slow_reads)
+        assert reads.seconds == pytest.approx(3 * writes.seconds)
+
+    def test_counters(self):
+        events = _ev("write", 1, 2) + _ev("read", 1, 2)
+        stats = estimate_time(events)
+        assert stats.write_pages == 2 and stats.read_pages == 2
+        assert stats.pages == 4
+        assert stats.mean_run_length == pytest.approx(2.0)
+
+
+class TestEndToEnd:
+    def test_pager_trace_feeds_the_device_model(self):
+        from repro.core.tree import TaskTree
+
+        tree = TaskTree(parents=[-1, 0, 1, 0, 3], weights=[1, 3, 4, 3, 4])
+        res = paged_io(tree, [2, 4, 1, 3, 0], memory=6, trace=True)
+        assert res.write_pages > 0
+        stats = estimate_time(res.events)
+        assert stats.pages == res.write_pages + res.read_pages
+        assert stats.seconds > 0

@@ -1,0 +1,103 @@
+"""Tests for Theorem 2: recovering a schedule from an I/O function."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.algorithms.io_function import schedule_for_io_function
+from repro.algorithms.liu import min_peak_memory
+from repro.core.simulator import fif_traversal
+from repro.core.traversal import validate
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import task_trees, trees_with_memory
+
+
+class TestBasics:
+    def test_zero_io_with_ample_memory(self):
+        tree = star_tree(1, [2, 3])
+        traversal = schedule_for_io_function(tree, [0, 0, 0], 100)
+        assert traversal is not None
+        validate(tree, traversal, 100)
+
+    def test_zero_io_below_peak_returns_none(self):
+        tree = star_tree(1, [2, 3])
+        peak = min_peak_memory(tree)
+        assert schedule_for_io_function(tree, [0, 0, 0], peak - 1) is None
+
+    def test_io_unlocks_tight_memory(self):
+        # root(1) <- {a(2) <- leafA(6), b(2) <- leafB(6)}, M = 6:
+        # no schedule works without I/O, but tau(a) = 2 suffices.
+        tree = TaskTree([-1, 0, 0, 1, 2], [1, 2, 2, 6, 6])
+        assert schedule_for_io_function(tree, [0, 0, 0, 0, 0], 6) is None
+        traversal = schedule_for_io_function(tree, [0, 2, 0, 0, 0], 6)
+        assert traversal is not None
+        validate(tree, traversal, 6)
+        assert traversal.io == (0, 2, 0, 0, 0)
+
+    def test_infeasible_even_with_full_io(self):
+        # wbar of the root is 7 no matter what.
+        tree = star_tree(1, [3, 4])
+        full = [0, 3, 4]
+        assert schedule_for_io_function(tree, full, 6) is None
+
+    def test_schedule_covers_all_nodes_once(self):
+        tree = chain_tree([1, 2, 3, 4])
+        traversal = schedule_for_io_function(tree, [0, 1, 0, 0], 10)
+        assert traversal is not None
+        assert sorted(traversal.schedule) == list(range(tree.n))
+
+
+class TestRoundTrip:
+    @given(trees_with_memory())
+    @settings(max_examples=80)
+    def test_fif_io_function_always_recoverable(self, tree_memory):
+        """Any tau produced by FiF on a valid schedule admits a schedule."""
+        tree, memory = tree_memory
+        base = fif_traversal(tree, list(reversed(tree.topological_order())), memory)
+        recovered = schedule_for_io_function(tree, list(base.io), memory)
+        assert recovered is not None
+        validate(tree, recovered, memory)
+        assert recovered.io == base.io
+
+    @given(task_trees(max_nodes=8))
+    def test_full_io_function_always_feasible_at_lb(self, tree):
+        io = [
+            tree.weights[v] if tree.parents[v] != -1 else 0 for v in range(tree.n)
+        ]
+        memory = tree.min_feasible_memory()
+        traversal = schedule_for_io_function(tree, io, memory)
+        assert traversal is not None
+        validate(tree, traversal, memory)
+
+    @given(trees_with_memory(max_nodes=6), st.data())
+    @settings(max_examples=60)
+    def test_feasibility_matches_validity_oracle(self, tree_memory, data):
+        """schedule_for_io_function finds a schedule iff one exists.
+
+        The 'exists' side is checked by enumerating all topological orders
+        and validating (tree, order, tau) directly.
+        """
+        from repro.algorithms.brute_force import iter_topological_orders
+        from repro.core.traversal import InvalidTraversal, Traversal
+
+        tree, memory = tree_memory
+        io = tuple(
+            data.draw(st.integers(0, tree.weights[v]), label=f"io[{v}]")
+            if tree.parents[v] != -1
+            else 0
+            for v in range(tree.n)
+        )
+        found = schedule_for_io_function(tree, list(io), memory)
+        exists = False
+        for order in iter_topological_orders(tree):
+            try:
+                validate(tree, Traversal(tuple(order), io), memory)
+                exists = True
+                break
+            except InvalidTraversal:
+                continue
+        assert (found is not None) == exists
+        if found is not None:
+            validate(tree, found, memory)

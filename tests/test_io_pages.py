@@ -1,0 +1,80 @@
+"""Unit tests for the page-table layer (repro.io.pages)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.io.pages import PageMap
+
+
+class TestLayout:
+    def test_unit_pages_one_per_weight_unit(self):
+        pmap = PageMap([3, 1, 2], page_size=1)
+        assert pmap.total_pages == 6
+        assert list(pmap.pages_of(0)) == [0, 1, 2]
+        assert list(pmap.pages_of(1)) == [3]
+        assert list(pmap.pages_of(2)) == [4, 5]
+
+    def test_page_ranges_are_disjoint_and_cover(self):
+        pmap = PageMap([5, 7, 2, 9], page_size=3)
+        seen = []
+        for v in pmap.iter_nodes():
+            seen.extend(pmap.pages_of(v))
+        assert seen == list(range(pmap.total_pages))
+
+    def test_owner_inverts_pages_of(self):
+        pmap = PageMap([4, 2, 6], page_size=2)
+        for v in pmap.iter_nodes():
+            for p in pmap.pages_of(v):
+                assert pmap.owner(p) == v
+
+    def test_zero_weight_node_has_no_pages(self):
+        pmap = PageMap([2, 0, 1], page_size=1)
+        assert pmap.page_count(1) == 0
+        assert list(pmap.pages_of(1)) == []
+
+    def test_page_count_is_ceiling(self):
+        pmap = PageMap([1, 4, 5, 8], page_size=4)
+        assert [pmap.page_count(v) for v in range(4)] == [1, 1, 2, 2]
+
+
+class TestPayload:
+    def test_full_pages_carry_page_size(self):
+        pmap = PageMap([8], page_size=4)
+        assert [pmap.payload(p) for p in pmap.pages_of(0)] == [4, 4]
+
+    def test_last_page_partial(self):
+        pmap = PageMap([7], page_size=4)
+        assert [pmap.payload(p) for p in pmap.pages_of(0)] == [4, 3]
+
+    @given(w=st.integers(0, 60), p=st.integers(1, 9))
+    def test_payload_sums_to_weight(self, w, p):
+        pmap = PageMap([w], page_size=p)
+        assert sum(pmap.payload(q) for q in pmap.pages_of(0)) == w
+
+    @given(w=st.integers(0, 60), p=st.integers(1, 9))
+    def test_rounded_weight_is_ceiling_times_page(self, w, p):
+        pmap = PageMap([w], page_size=p)
+        assert pmap.rounded_weight(0) == -(-w // p) * p
+        assert pmap.rounded_weights() == (pmap.rounded_weight(0),)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -(10**9)])
+    def test_rejects_nonpositive_page_size(self, bad):
+        with pytest.raises(ValueError):
+            PageMap([1, 2], page_size=bad)
+
+    def test_rejects_fractional_page_size(self):
+        with pytest.raises(ValueError):
+            PageMap([1], page_size=1.5)  # type: ignore[arg-type]
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            PageMap([1, -2], page_size=1)
+
+    def test_repr_mentions_sizes(self):
+        r = repr(PageMap([3, 3], page_size=2))
+        assert "page_size=2" in r and "total_pages=4" in r

@@ -1,0 +1,102 @@
+"""Tests for the local-search schedule post-optimizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.local_search import LocalSearchResult, local_search
+from repro.core.traversal import validate
+from repro.core.tree import chain_tree
+
+from .conftest import trees_with_memory
+
+
+class TestInvariants:
+    @given(tm=trees_with_memory(max_nodes=8, max_weight=9))
+    @settings(max_examples=40)
+    def test_never_regresses(self, tm):
+        tree, memory = tm
+        result = local_search(tree, memory)
+        assert result.io_volume <= result.start_io
+        assert result.improvement >= 0
+
+    @given(tm=trees_with_memory(max_nodes=8, max_weight=9))
+    @settings(max_examples=40)
+    def test_output_is_valid(self, tm):
+        tree, memory = tm
+        result = local_search(tree, memory)
+        validate(tree, result.traversal, memory)
+
+    @given(tm=trees_with_memory(max_nodes=7, max_weight=9))
+    @settings(max_examples=30)
+    def test_respects_optimum(self, tm):
+        from repro.algorithms.brute_force import min_io_brute
+
+        tree, memory = tm
+        opt, _ = min_io_brute(tree, memory)
+        assert local_search(tree, memory).io_volume >= opt
+
+    def test_budget_respected(self):
+        from repro.datasets.synth import synth_instance
+        from repro.analysis.bounds import memory_bounds
+
+        tree = synth_instance(60, seed=11)
+        bounds = memory_bounds(tree)
+        memory = bounds.mid if bounds.has_io_regime else bounds.peak_incore
+        result = local_search(tree, memory, max_evaluations=25)
+        assert result.evaluations <= 26  # initial cost + budgeted moves
+
+
+class TestRecovery:
+    def test_improves_a_bad_postorder_on_figure_2a(self):
+        """Starting from the postorder-killer, search must claw back I/O."""
+        from repro.datasets.instances import figure_2a
+        from repro.experiments.registry import get_algorithm
+
+        inst = figure_2a()
+        bad = get_algorithm("PostOrderMinIO")(inst.tree, inst.memory)
+        result = local_search(
+            inst.tree, inst.memory, bad.schedule, max_rounds=20
+        )
+        assert result.io_volume < bad.io_volume
+
+    def test_recexpand_is_a_deep_local_optimum_on_figure_6(self):
+        """On Fig 6 RecExpand is optimal (3); search cannot beat it."""
+        from repro.datasets.instances import figure_6
+        from repro.experiments.registry import get_algorithm
+
+        inst = figure_6()
+        start = get_algorithm("RecExpand")(inst.tree, inst.memory)
+        result = local_search(inst.tree, inst.memory, start.schedule)
+        assert result.io_volume == 3
+
+    def test_fixes_optminmem_on_figure_2c(self):
+        """OptMinMem pays ~k(k+1) on Fig 2(c); shifts repair the order."""
+        from repro.datasets.instances import figure_2c
+        from repro.experiments.registry import get_algorithm
+
+        inst = figure_2c(3)
+        start = get_algorithm("OptMinMem")(inst.tree, inst.memory)
+        result = local_search(
+            inst.tree, inst.memory, start.schedule, max_rounds=30
+        )
+        assert result.io_volume < start.io_volume
+
+
+class TestValidation:
+    def test_rejects_non_permutation(self):
+        tree = chain_tree([2, 3])
+        with pytest.raises(ValueError, match="permutation"):
+            local_search(tree, 5, [0, 0])
+
+    def test_rejects_unknown_neighborhood(self):
+        tree = chain_tree([2, 3])
+        with pytest.raises(ValueError, match="neighborhoods"):
+            local_search(tree, 5, neighborhoods=("teleport",))
+
+    def test_swap_only_mode(self):
+        tree = chain_tree([3, 5, 2, 6])
+        result = local_search(tree, 7, neighborhoods=("swap",))
+        assert isinstance(result, LocalSearchResult)
+        validate(tree, result.traversal, 7)

@@ -1,0 +1,136 @@
+"""Tests for the sparse-matrix generators and orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.matrices import (
+    ORDERINGS,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    minimum_degree_ordering,
+    natural_ordering,
+    permute_symmetric,
+    random_ordering,
+    random_symmetric_pattern,
+    rcm_ordering,
+)
+
+
+def is_symmetric(a: sp.spmatrix) -> bool:
+    return (a != a.T).nnz == 0
+
+
+class TestGenerators:
+    def test_grid2d_shape_and_stencil(self):
+        a = grid_laplacian_2d(4, 5)
+        assert a.shape == (20, 20)
+        assert is_symmetric(a)
+        # interior vertex has 4 neighbours + diagonal
+        degrees = np.asarray((a > 0).sum(axis=1)).ravel()
+        assert degrees.max() == 5
+        assert degrees.min() == 3  # corners
+
+    def test_grid3d_shape_and_stencil(self):
+        a = grid_laplacian_3d(3, 3, 3)
+        assert a.shape == (27, 27)
+        assert is_symmetric(a)
+        degrees = np.asarray((a > 0).sum(axis=1)).ravel()
+        assert degrees.max() == 7  # center vertex
+
+    def test_grid_has_unit_diagonal(self):
+        a = grid_laplacian_2d(3, 3)
+        assert np.all(a.diagonal() == 1)
+
+    def test_random_pattern_symmetric_with_diagonal(self):
+        a = random_symmetric_pattern(50, 4.0, np.random.default_rng(0))
+        assert a.shape == (50, 50)
+        assert is_symmetric(a)
+        assert np.all(a.diagonal() == 1)
+
+    def test_random_pattern_density(self):
+        n, deg = 300, 6.0
+        a = random_symmetric_pattern(n, deg, np.random.default_rng(1))
+        offdiag = a.nnz - n
+        assert 0.5 * n * deg < offdiag < 1.5 * n * deg
+
+    def test_random_pattern_rejects_bad_degree(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_symmetric_pattern(10, 0, rng)
+        with pytest.raises(ValueError):
+            random_symmetric_pattern(10, 10, rng)
+
+
+class TestOrderings:
+    @pytest.fixture
+    def matrix(self):
+        return grid_laplacian_2d(6, 6)
+
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_every_ordering_is_permutation(self, matrix, name):
+        perm = ORDERINGS[name](matrix, np.random.default_rng(0))
+        assert sorted(perm) == list(range(matrix.shape[0]))
+
+    def test_natural_is_identity(self, matrix):
+        assert list(natural_ordering(matrix)) == list(range(36))
+
+    def test_random_ordering_deterministic_given_rng(self, matrix):
+        a = random_ordering(matrix, np.random.default_rng(5))
+        b = random_ordering(matrix, np.random.default_rng(5))
+        assert list(a) == list(b)
+
+    def test_rcm_reduces_bandwidth(self, matrix):
+        # Scramble, then RCM should tighten the bandwidth well below random.
+        rng = np.random.default_rng(2)
+        scrambled = permute_symmetric(matrix, random_ordering(matrix, rng))
+
+        def bandwidth(m):
+            coo = sp.coo_matrix(m)
+            return int(np.abs(coo.row - coo.col).max())
+
+        ordered = permute_symmetric(scrambled, rcm_ordering(scrambled))
+        assert bandwidth(ordered) < bandwidth(scrambled)
+
+    def test_mindeg_eliminates_leaves_first_on_path(self):
+        # On a path graph, minimum degree starts at an endpoint (degree 1).
+        n = 10
+        a = sp.diags([np.ones(n - 1), np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        order = minimum_degree_ordering(sp.csr_matrix(a))
+        assert order[0] in (0, n - 1)
+
+    def test_mindeg_no_fill_on_path(self):
+        """A path has a perfect elimination order; min-degree must find one
+        (zero fill => every eliminated vertex has degree <= 1 at its turn)."""
+        from repro.datasets.elimination import factor_column_counts, elimination_tree
+
+        n = 12
+        a = sp.csr_matrix(
+            sp.diags([np.ones(n - 1), np.ones(n), np.ones(n - 1)], [-1, 0, 1])
+        )
+        perm = minimum_degree_ordering(a)
+        p = permute_symmetric(a, perm)
+        parent = elimination_tree(p)
+        counts = factor_column_counts(p, parent)
+        # no fill: factor nnz equals matrix lower-triangle nnz
+        assert counts.sum() == n + (n - 1)
+
+
+class TestPermute:
+    def test_permute_roundtrip(self):
+        a = grid_laplacian_2d(4, 4)
+        rng = np.random.default_rng(3)
+        perm = random_ordering(a, rng)
+        b = permute_symmetric(a, perm)  # b[i, j] = a[perm[i], perm[j]]
+        # permuting with the inverse permutation restores a
+        back = permute_symmetric(b, np.argsort(perm))
+        assert (back != a).nnz == 0
+
+    def test_permute_preserves_symmetry_and_nnz(self):
+        a = grid_laplacian_2d(5, 3)
+        perm = np.random.default_rng(4).permutation(15)
+        b = permute_symmetric(a, perm)
+        assert is_symmetric(b)
+        assert b.nnz == a.nnz

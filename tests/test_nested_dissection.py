@@ -1,0 +1,129 @@
+"""Tests for the nested dissection ordering and its elimination trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.elimination import etree_task_tree
+from repro.datasets.matrices import (
+    ORDERINGS,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    permute_symmetric,
+    random_symmetric_pattern,
+)
+from repro.datasets.nested_dissection import (
+    bfs_levels,
+    nested_dissection_ordering,
+    pseudo_peripheral_vertex,
+)
+
+
+def _adjacency(a):
+    from repro.datasets.nested_dissection import _adjacency
+
+    return _adjacency(a)
+
+
+class TestBFSMachinery:
+    def test_levels_on_a_path(self):
+        # 0-1-2-3-4 path graph.
+        a = sp.csr_matrix(sp.diags([np.ones(4), np.ones(4)], [-1, 1]))
+        adj = _adjacency(a)
+        alive = np.ones(5, dtype=bool)
+        levels = bfs_levels(adj, 0, alive)
+        assert [sorted(lv) for lv in levels] == [[0], [1], [2], [3], [4]]
+
+    def test_levels_respect_alive_mask(self):
+        a = sp.csr_matrix(sp.diags([np.ones(4), np.ones(4)], [-1, 1]))
+        adj = _adjacency(a)
+        alive = np.ones(5, dtype=bool)
+        alive[2] = False  # cut the path
+        levels = bfs_levels(adj, 0, alive)
+        assert sorted(v for lv in levels for v in lv) == [0, 1]
+
+    def test_pseudo_peripheral_on_a_path_is_an_endpoint(self):
+        a = sp.csr_matrix(sp.diags([np.ones(9), np.ones(9)], [-1, 1]))
+        adj = _adjacency(a)
+        alive = np.ones(10, dtype=bool)
+        v = pseudo_peripheral_vertex(adj, 4, alive)
+        assert v in (0, 9)
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("side", [4, 7, 10])
+    def test_is_a_permutation(self, side):
+        a = grid_laplacian_2d(side, side)
+        order = nested_dissection_ordering(a)
+        assert sorted(order.tolist()) == list(range(side * side))
+
+    def test_empty_matrix(self):
+        order = nested_dissection_ordering(sp.csr_matrix((0, 0)))
+        assert order.size == 0
+
+    def test_single_vertex(self):
+        order = nested_dissection_ordering(sp.csr_matrix(np.ones((1, 1))))
+        assert order.tolist() == [0]
+
+    def test_disconnected_graph_covered(self):
+        blocks = sp.block_diag(
+            [grid_laplacian_2d(3, 3), grid_laplacian_2d(4, 4)], format="csr"
+        )
+        order = nested_dissection_ordering(blocks)
+        assert sorted(order.tolist()) == list(range(25))
+
+    def test_registered_in_orderings(self):
+        assert "nd" in ORDERINGS
+        a = grid_laplacian_2d(5, 5)
+        order = ORDERINGS["nd"](a, np.random.default_rng(0))
+        assert sorted(order.tolist()) == list(range(25))
+
+    def test_random_pattern_is_a_permutation(self):
+        rng = np.random.default_rng(3)
+        a = random_symmetric_pattern(80, avg_degree=4.0, rng=rng)
+        order = nested_dissection_ordering(a)
+        assert sorted(order.tolist()) == list(range(80))
+
+
+class TestQuality:
+    """ND should beat the natural order where theory says it does."""
+
+    def test_nd_etree_shallower_than_natural_on_grids(self):
+        # The natural (banded) order yields an etree of depth ~n; nested
+        # dissection yields ~O(separator-tree) depth.  This is the whole
+        # point of the ordering for tree *parallelism*.
+        a = grid_laplacian_2d(12, 12)
+        natural = etree_task_tree(a)
+        nd_perm = nested_dissection_ordering(a)
+        nd_tree = etree_task_tree(permute_symmetric(a, nd_perm))
+        assert nd_tree.depth() < natural.depth()
+
+    def test_nd_reduces_total_front_weight_vs_random_on_3d(self):
+        rng = np.random.default_rng(11)
+        a = grid_laplacian_3d(5, 5, 5)
+        random_perm = rng.permutation(125)
+        w_random = etree_task_tree(permute_symmetric(a, random_perm)).total_weight()
+        nd_perm = nested_dissection_ordering(a)
+        w_nd = etree_task_tree(permute_symmetric(a, nd_perm)).total_weight()
+        assert w_nd < w_random
+
+    def test_leaf_size_controls_recursion(self):
+        a = grid_laplacian_2d(8, 8)
+        coarse = nested_dissection_ordering(a, leaf_size=64)
+        fine = nested_dissection_ordering(a, leaf_size=4)
+        assert sorted(coarse.tolist()) == sorted(fine.tolist())
+
+    def test_nd_trees_feed_the_full_pipeline(self):
+        from repro.analysis.bounds import memory_bounds
+        from repro.experiments.registry import get_algorithm
+
+        a = grid_laplacian_2d(9, 9)
+        tree = etree_task_tree(permute_symmetric(a, nested_dissection_ordering(a)))
+        bounds = memory_bounds(tree)
+        memory = bounds.mid if bounds.has_io_regime else bounds.peak_incore
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        from repro.core.traversal import validate
+
+        validate(tree, traversal, memory)

@@ -1,0 +1,121 @@
+"""One end-to-end integration chain across every subsystem.
+
+Follows a single problem through the whole library, asserting the
+cross-subsystem contracts at each hop:
+
+    sparse matrix → nested dissection → elimination tree → amalgamation
+    → memory bounds → scheduling (all strategies) → validity → trace
+    export/replay → paged replay → device timing → dataset store →
+    parallel execution → visualisation.
+
+Any interface drift between subsystems breaks here first.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.bounds import memory_bounds
+from repro.core.simulator import simulate_fif
+from repro.core.trace import from_jsonl, replay, to_jsonl, traversal_trace
+from repro.core.traversal import validate
+from repro.datasets.amalgamation import amalgamate
+from repro.datasets.elimination import etree_task_tree
+from repro.datasets.matrices import grid_laplacian_2d, permute_symmetric
+from repro.datasets.nested_dissection import nested_dissection_ordering
+from repro.datasets.store import StoredTree, load_trees, save_trees
+from repro.experiments.registry import ALGORITHMS, get_algorithm
+from repro.io import HDD, estimate_time, paged_io
+from repro.parallel import priority_from_schedule, simulate_parallel
+from repro.viz import gantt_chart, memory_timeline_chart, tree_chart
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """Matrix → ND → etree → amalgamation → a tree with an I/O regime."""
+    matrix = grid_laplacian_2d(13, 13)
+    perm = nested_dissection_ordering(matrix)
+    tree = etree_task_tree(permute_symmetric(matrix, perm))
+    coarse = amalgamate(tree, absorb_below=8).tree
+    bounds = memory_bounds(coarse)
+    assert bounds.has_io_regime, "pipeline fixture must exercise I/O"
+    return coarse, bounds.mid
+
+
+class TestSchedulingLayer:
+    def test_every_strategy_yields_a_valid_traversal(self, problem):
+        tree, memory = problem
+        for name, strategy in ALGORITHMS.items():
+            traversal = strategy(tree, memory)
+            validate(tree, traversal, memory)
+
+    def test_recexpand_never_worse_than_optminmem_here(self, problem):
+        tree, memory = problem
+        rec = get_algorithm("RecExpand")(tree, memory)
+        opt = get_algorithm("OptMinMem")(tree, memory)
+        assert rec.io_volume <= opt.io_volume
+
+
+class TestTraceLayer:
+    def test_export_replay_round_trip(self, problem):
+        tree, memory = problem
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        events = from_jsonl(to_jsonl(traversal_trace(tree, traversal)))
+        result = replay(tree, events, memory)
+        assert result.io_volume == traversal.io_volume
+        assert result.peak_memory <= memory
+
+
+class TestPagingLayer:
+    def test_belady_page_replay_matches_planner(self, problem):
+        tree, memory = problem
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        paged = paged_io(tree, traversal.schedule, memory, trace=True)
+        node = simulate_fif(tree, traversal.schedule, memory)
+        assert paged.write_units == node.io_volume
+        stats = estimate_time(paged.events, HDD)
+        assert stats.pages == paged.write_pages + paged.read_pages
+
+    def test_online_policy_overhead_is_bounded_sane(self, problem):
+        tree, memory = problem
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        belady = paged_io(tree, traversal.schedule, memory, policy="belady")
+        lru = paged_io(tree, traversal.schedule, memory, policy="lru")
+        assert belady.write_pages <= lru.write_pages
+
+
+class TestStoreLayer:
+    def test_problem_survives_the_dataset_store(self, problem, tmp_path):
+        tree, memory = problem
+        path = tmp_path / "pipeline.jsonl"
+        save_trees(path, [StoredTree("pipeline", tree, {"memory": memory})])
+        (loaded,) = load_trees(path)
+        assert loaded.tree == tree
+        assert loaded.meta["memory"] == memory
+
+
+class TestParallelLayer:
+    def test_parallel_execution_and_gantt(self, problem):
+        tree, memory = problem
+        order = get_algorithm("RecExpand")(tree, memory).schedule
+        report = simulate_parallel(
+            tree, memory, 4, priority_from_schedule(order)
+        )
+        assert sorted(report.order) == list(range(tree.n))
+        svg = gantt_chart(report, title="pipeline")
+        ET.fromstring(svg)
+
+
+class TestVisualisationLayer:
+    def test_timeline_and_tree_render(self, problem):
+        tree, memory = problem
+        traversal = get_algorithm("RecExpand")(tree, memory)
+        ET.fromstring(
+            memory_timeline_chart(
+                tree, {"RecExpand": traversal.schedule}, memory
+            )
+        )
+        small = amalgamate(tree, absorb_below=10_000).tree  # tiny for drawing
+        ET.fromstring(tree_chart(small))

@@ -1,0 +1,161 @@
+"""Tests for the best-postorder algorithms (PostOrderMinMem / PostOrderMinIO)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.brute_force import (
+    min_io_postorder_brute,
+    min_peak_postorder_brute,
+)
+from repro.algorithms.liu import min_peak_memory
+from repro.algorithms.postorder import postorder_min_io, postorder_min_mem
+from repro.core.simulator import fif_io_volume, schedule_peak_memory
+from repro.core.traversal import is_postorder
+from repro.core.tree import TaskTree, chain_tree, star_tree
+from repro.datasets.instances import figure_2a, figure_7
+
+from .conftest import task_trees, trees_with_memory
+
+
+class TestPostorderMinMem:
+    def test_single_node(self):
+        res = postorder_min_mem(TaskTree([-1], [3]))
+        assert res.schedule == (0,) and res.peak_memory == 3
+
+    def test_chain(self):
+        tree = chain_tree([2, 9, 3])
+        res = postorder_min_mem(tree)
+        assert res.peak_memory == 9
+
+    def test_child_order_matters(self):
+        # Two subtrees: heavy-peak/light-residue first is better (S - w key).
+        # A: S=10, w=1; B: S=9, w=8.  A first: max(10, 9+1)=10;
+        # B first: max(9, 10+8)=18.
+        a_leaf_w, a_w = 10, 1
+        b_leaf_w, b_w = 9, 8
+        tree = TaskTree([-1, 0, 1, 0, 3], [1, a_w, a_leaf_w, b_w, b_leaf_w])
+        res = postorder_min_mem(tree)
+        assert res.peak_memory == 10
+        # A's subtree (nodes 1,2) must be scheduled first.
+        assert res.schedule[0] == 2
+
+    def test_predicted_peak_matches_simulation(self):
+        tree = figure_7().tree
+        res = postorder_min_mem(tree)
+        assert schedule_peak_memory(tree, res.schedule) == res.peak_memory
+
+    @given(task_trees(max_nodes=7))
+    @settings(max_examples=50)
+    def test_optimal_among_postorders(self, tree):
+        res = postorder_min_mem(tree)
+        brute, _ = min_peak_postorder_brute(tree)
+        assert res.peak_memory == brute
+
+    @given(task_trees(max_nodes=9))
+    def test_schedule_is_postorder(self, tree):
+        res = postorder_min_mem(tree)
+        assert is_postorder(tree, res.schedule)
+
+    @given(task_trees(max_nodes=8))
+    def test_never_beats_liu(self, tree):
+        assert postorder_min_mem(tree).peak_memory >= min_peak_memory(tree)
+
+
+class TestPostorderMinIO:
+    def test_rejects_nonpositive_memory(self):
+        with pytest.raises(ValueError, match="positive"):
+            postorder_min_io(TaskTree([-1], [1]), 0)
+
+    def test_no_io_when_memory_ample(self):
+        tree = star_tree(1, [2, 3])
+        res = postorder_min_io(tree, 100)
+        assert res.predicted_io == 0
+
+    def test_figure_7_exact(self):
+        inst = figure_7()
+        res = postorder_min_io(inst.tree, inst.memory)
+        assert res.predicted_io == 3
+        assert fif_io_volume(inst.tree, res.schedule, inst.memory) == 3
+
+    def test_figure_2a_lower_bound(self):
+        # Every postorder pays at least (leaves-1) * (M/2 - 1).
+        for ext in (0, 1, 2):
+            inst = figure_2a(16, extensions=ext)
+            leaves = len(inst.tree.leaves())
+            res = postorder_min_io(inst.tree, inst.memory)
+            assert res.predicted_io >= (leaves - 1) * (inst.memory // 2 - 1)
+
+    def test_storage_requirement_definition(self):
+        # S of a star root = sum of leaves processed in chosen order.
+        tree = star_tree(1, [5, 3, 2])
+        res = postorder_min_io(tree, 6)
+        assert res.storage[tree.root] == 10
+
+    @given(trees_with_memory())
+    def test_prediction_matches_fif_simulation(self, tree_memory):
+        """Agullo's V recursion must equal the simulator on its schedule."""
+        tree, memory = tree_memory
+        res = postorder_min_io(tree, memory)
+        assert res.predicted_io == fif_io_volume(tree, res.schedule, memory)
+
+    @given(trees_with_memory(max_nodes=6))
+    @settings(max_examples=60)
+    def test_optimal_among_postorders(self, tree_memory):
+        tree, memory = tree_memory
+        res = postorder_min_io(tree, memory)
+        brute, _ = min_io_postorder_brute(tree, memory)
+        assert res.predicted_io == brute
+
+    @given(trees_with_memory())
+    def test_schedule_is_postorder(self, tree_memory):
+        tree, memory = tree_memory
+        assert is_postorder(tree, postorder_min_io(tree, memory).schedule)
+
+    @given(trees_with_memory())
+    def test_io_zero_iff_postorder_peak_fits(self, tree_memory):
+        tree, memory = tree_memory
+        res = postorder_min_io(tree, memory)
+        po_peak = postorder_min_mem(tree).peak_memory
+        if memory >= po_peak:
+            assert res.predicted_io == 0
+        if res.predicted_io == 0:
+            # some postorder fits (maybe not the MinMem one, but then its
+            # own storage requirement fits)
+            assert res.storage[tree.root] <= memory or po_peak <= memory
+
+
+class TestTheorem3Ordering:
+    """The A - w sort key is exactly Liu's rearrangement lemma."""
+
+    @staticmethod
+    def _capped_key_tree() -> TaskTree:
+        """root(1) <- {x(3) <- {p(2)<-leaf(10), q(2)<-leaf(10)}, y(2)<-leaf(10)}.
+
+        With M=10: S_x = 12 > M so A_x = 10; S_y = 10.  Uncapped keys
+        S - w are 9 (x) vs 8 (y) -> MinMem runs x first; capped keys
+        A - w are 7 (x) vs 8 (y) -> MinIO runs y first.  No single wbar
+        exceeds M.
+        """
+        return TaskTree(
+            [-1, 0, 1, 2, 1, 4, 0, 6],
+            [1, 3, 2, 10, 2, 10, 2, 10],
+        )
+
+    def test_capped_key_differs_from_uncapped(self):
+        tree = self._capped_key_tree()
+        mem_res = postorder_min_mem(tree)
+        io_res = postorder_min_io(tree, 10)
+        # leafP (node 3) lives under x, leafY (node 7) under y.
+        assert mem_res.schedule.index(3) < mem_res.schedule.index(7)
+        assert io_res.schedule.index(7) < io_res.schedule.index(3)
+
+    def test_order_reduces_io_versus_reverse(self):
+        tree = self._capped_key_tree()
+        memory = 10
+        best = postorder_min_io(tree, memory).predicted_io
+        # The x-first postorder (MinMem's choice) must not beat it.
+        x_first = [3, 2, 5, 4, 1, 7, 6, 0]
+        assert is_postorder(tree, x_first)
+        assert fif_io_volume(tree, x_first, memory) >= best

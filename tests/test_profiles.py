@@ -1,0 +1,110 @@
+"""Tests for Dolan–Moré performance profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profiles import (
+    build_profile,
+    profile_from_io,
+    render_ascii,
+    to_csv,
+)
+
+
+def simple_profile():
+    # Three instances.  A: perfs 1.0, 1.0, 2.0; B: 1.0, 1.5, 1.0.
+    return build_profile({"A": [1.0, 1.0, 2.0], "B": [1.0, 1.5, 1.0]})
+
+
+class TestBuildProfile:
+    def test_fraction_at_zero_counts_wins(self):
+        prof = simple_profile()
+        assert prof.curve("A").fraction_at(0.0) == pytest.approx(2 / 3)
+        assert prof.curve("B").fraction_at(0.0) == pytest.approx(2 / 3)
+
+    def test_fraction_at_large_threshold_is_one(self):
+        prof = simple_profile()
+        assert prof.curve("A").fraction_at(10.0) == 1.0
+        assert prof.curve("B").fraction_at(10.0) == 1.0
+
+    def test_intermediate_threshold(self):
+        prof = simple_profile()
+        # B's only loss is 1.5 vs best 1.0 -> 50% overhead.
+        assert prof.curve("B").fraction_at(0.49) == pytest.approx(2 / 3)
+        assert prof.curve("B").fraction_at(0.50) == 1.0
+
+    def test_curves_monotone_nondecreasing(self):
+        prof = simple_profile()
+        for curve in prof.curves:
+            fracs = list(curve.fractions)
+            assert fracs == sorted(fracs)
+
+    def test_single_algorithm_always_one(self):
+        prof = build_profile({"only": [1.0, 1.7, 2.0]})
+        assert prof.curve("only").fraction_at(0.0) == 1.0
+
+    def test_explicit_thresholds(self):
+        prof = build_profile({"A": [1.0], "B": [1.3]}, thresholds=[0.0, 0.1, 0.5])
+        assert prof.curve("B").fraction_at(0.1) == 0.0
+        assert prof.curve("B").fraction_at(0.5) == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_profile({})
+        with pytest.raises(ValueError):
+            build_profile({"A": []})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="differ"):
+            build_profile({"A": [1.0], "B": [1.0, 1.0]})
+
+    def test_rejects_sub_one_performance(self):
+        with pytest.raises(ValueError, match="impossible"):
+            build_profile({"A": [0.9]})
+
+    def test_curve_lookup_error(self):
+        with pytest.raises(KeyError):
+            simple_profile().curve("missing")
+
+    def test_num_instances(self):
+        assert simple_profile().num_instances == 3
+
+    def test_fraction_below_first_threshold(self):
+        prof = build_profile({"A": [1.0], "B": [1.5]}, thresholds=[0.2, 0.6])
+        assert prof.curve("B").fraction_at(0.1) == 0.0
+
+
+class TestProfileFromIO:
+    def test_matches_manual_metric(self):
+        prof = profile_from_io(
+            {"A": [0, 10], "B": [5, 0]},
+            memories=[10, 10],
+        )
+        # A perf: 1.0, 2.0; B perf: 1.5, 1.0
+        assert prof.curve("A").fraction_at(0.0) == 0.5
+        assert prof.performances["A"] == (1.0, 2.0)
+
+    def test_strict_zip(self):
+        with pytest.raises(ValueError):
+            profile_from_io({"A": [0, 1]}, memories=[10])
+
+
+class TestRendering:
+    def test_ascii_contains_legend_and_axis(self):
+        art = render_ascii(simple_profile())
+        assert "o A" in art and "x B" in art
+        assert "overhead" in art
+        assert " 1.00 |" in art
+
+    def test_ascii_zero_overhead_profile(self):
+        art = render_ascii(build_profile({"A": [1.0], "B": [1.0]}))
+        assert "o A" in art
+
+    def test_csv_shape(self):
+        csv = to_csv(simple_profile())
+        lines = csv.splitlines()
+        assert lines[0] == "threshold,A,B"
+        assert all(len(line.split(",")) == 3 for line in lines[1:])
+        # last row: everything within threshold
+        assert lines[-1].endswith("1.000000,1.000000")

@@ -1,0 +1,99 @@
+"""Tests for I/O-versus-memory regime analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.bounds import memory_bounds
+from repro.analysis.regime import IOCurve, io_curve, sample_memories
+from repro.core.tree import TaskTree
+
+from .conftest import task_trees
+
+
+class TestSampling:
+    @given(tree=task_trees(min_nodes=2, max_nodes=9))
+    @settings(max_examples=30)
+    def test_endpoints_always_included(self, tree):
+        bounds = memory_bounds(tree)
+        memories = sample_memories(tree)
+        assert memories[0] == bounds.lb
+        assert memories[-1] == bounds.peak_incore
+
+    @given(tree=task_trees(min_nodes=2, max_nodes=9))
+    @settings(max_examples=30)
+    def test_samples_sorted_and_unique(self, tree):
+        memories = sample_memories(tree, samples=6)
+        assert memories == sorted(set(memories))
+
+    def test_small_regime_enumerated_exactly(self):
+        tree = TaskTree([-1, 0, 1, 0, 3], [1, 3, 4, 3, 4])  # LB 6, peak 7
+        assert sample_memories(tree, samples=12) == [6, 7]
+
+    def test_minimum_two_samples(self):
+        tree = TaskTree([-1], [3])
+        with pytest.raises(ValueError):
+            sample_memories(tree, samples=1)
+
+
+class TestCurves:
+    def _io_tree(self):
+        # Wide-regime instance so the curve has structure.
+        from repro.datasets.synth import synth_instance
+
+        for seed in range(1, 80):
+            tree = synth_instance(50, seed=seed)
+            bounds = memory_bounds(tree)
+            if bounds.peak_incore - bounds.lb >= 8:
+                return tree
+        raise AssertionError("no wide-regime instance found")
+
+    def test_curve_endpoints(self):
+        tree = self._io_tree()
+        curve = io_curve(tree, "OptMinMem")
+        assert curve.volumes[-1] == 0  # at Peak_incore no I/O is needed
+        assert curve.volumes[0] >= curve.volumes[-1]
+
+    def test_optminmem_is_monotone(self):
+        """Fixed schedule + FiF: more memory can never cost more I/O."""
+        tree = self._io_tree()
+        curve = io_curve(tree, "OptMinMem", samples=10)
+        assert curve.monotone_violations() == []
+
+    @given(tree=task_trees(min_nodes=3, max_nodes=8))
+    @settings(max_examples=25)
+    def test_optminmem_monotone_property(self, tree):
+        curve = io_curve(tree, "OptMinMem", samples=6)
+        assert curve.monotone_violations() == []
+
+    def test_area_is_one_for_no_io(self):
+        tree = TaskTree([-1, 0], [2, 3])  # chain: LB == peak, never any I/O
+        curve = io_curve(tree, "OptMinMem", memories=[5, 6, 7])
+        assert curve.area() == pytest.approx(1.0)
+
+    def test_knee_finds_the_big_drop(self):
+        curve = IOCurve("x", (4, 5, 6, 7), (90, 80, 10, 0))
+        assert curve.knee() == 5  # the 80 -> 10 drop follows M=5
+
+    def test_knee_flat_curve(self):
+        curve = IOCurve("x", (4, 5), (0, 0))
+        assert curve.knee() == 4
+
+    def test_monotone_violation_detection(self):
+        curve = IOCurve("x", (4, 5, 6), (10, 12, 0))
+        assert curve.monotone_violations() == [5]
+
+    def test_callable_strategy_accepted(self):
+        from repro.experiments.registry import get_algorithm
+
+        tree = self._io_tree()
+        fn = get_algorithm("RecExpand")
+        curve = io_curve(tree, fn, samples=4)
+        assert len(curve.volumes) == len(curve.memories)
+
+    def test_area_orders_strategies_sensibly(self):
+        tree = self._io_tree()
+        rec = io_curve(tree, "RecExpand", samples=8)
+        post = io_curve(tree, "PostOrderMinIO", samples=8)
+        assert rec.area() <= post.area() + 1e-9

@@ -1,0 +1,51 @@
+"""Tests for the seed-robustness sweep (repro.experiments.robustness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.robustness import SeedSweep, seed_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep() -> SeedSweep:
+    return seed_sweep("synth", "Mmid", scale="tiny", seeds=(1, 2, 3))
+
+
+class TestSweep:
+    def test_covers_every_seed_and_algorithm(self, sweep):
+        assert sweep.seeds == (1, 2, 3)
+        for a in sweep.algorithms:
+            assert len(sweep.win_fractions[a]) == 3
+            assert len(sweep.mean_overheads[a]) == 3
+
+    def test_pooled_sizes_match(self, sweep):
+        sizes = {len(v) for v in sweep.pooled_performances.values()}
+        assert len(sizes) == 1
+
+    def test_win_fractions_are_fractions(self, sweep):
+        for vals in sweep.win_fractions.values():
+            assert all(0.0 <= v <= 1.0 for v in vals)
+
+    def test_cis_are_ordered(self, sweep):
+        for a in sweep.algorithms:
+            lo, hi = sweep.win_ci(a, seed=1)
+            assert lo <= hi
+
+    def test_conclusion_stable_across_seeds(self, sweep):
+        """RecExpand's mean win fraction dominates on every seed."""
+        rec = sweep.win_fractions["RecExpand"]
+        post = sweep.win_fractions["PostOrderMinIO"]
+        assert all(r >= p for r, p in zip(rec, post))
+
+    def test_significance_rows_cover_all_pairs(self, sweep):
+        rows = sweep.significance(seed=1)
+        assert len(rows) == 3  # C(3, 2)
+
+    def test_summary_renders(self, sweep):
+        text = sweep.summary()
+        assert "RecExpand" in text and "p =" in text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep("matrices")

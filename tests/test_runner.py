@@ -1,0 +1,98 @@
+"""Tests for the experiment runner (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.figures import figure10
+from repro.experiments.runner import (
+    ExperimentReport,
+    figure_summary,
+    report_to_text,
+    run_counterexamples,
+    run_figures,
+)
+
+
+@pytest.fixture(scope="module")
+def counterexamples():
+    return run_counterexamples(fig2a_extensions=(0,), fig2c_ks=(2,))
+
+
+class TestCounterexamples:
+    def test_all_instances_present(self, counterexamples):
+        assert set(counterexamples) == {
+            "fig2a_ext0", "fig2b", "fig2c_k2", "fig6", "fig7"
+        }
+
+    def test_rows_carry_all_algorithms(self, counterexamples):
+        row = counterexamples["fig2b"]
+        assert {"FullRecExpand", "OptMinMem", "PostOrderMinIO"} <= set(row["io"])
+
+    def test_witnesses_recorded(self, counterexamples):
+        assert counterexamples["fig2b"]["witness_io"] == 3
+        assert counterexamples["fig2c_k2"]["witness_io"] == 4
+
+    def test_no_algorithm_beats_the_witness_on_fig2a(self, counterexamples):
+        row = counterexamples["fig2a_ext0"]
+        assert all(io >= row["witness_io"] for io in row["io"].values())
+
+
+class TestFigureSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return figure_summary(figure10("tiny"))
+
+    def test_summary_fields(self, summary):
+        assert summary["bound"] == "M2"
+        assert summary["instances"] > 0
+        assert set(summary["algorithms"]) >= {"OptMinMem", "RecExpand"}
+
+    def test_wins_are_fractions(self, summary):
+        for stats in summary["algorithms"].values():
+            assert 0.0 <= stats["wins"] <= 1.0
+
+    def test_curves_monotone_in_threshold(self, summary):
+        for stats in summary["algorithms"].values():
+            curve = [stats["curve"][k] for k in sorted(stats["curve"], key=float)]
+            assert curve == sorted(curve)
+
+    def test_fig10_equality_claim(self, summary):
+        """At M2 the three non-postorder strategies all win everywhere."""
+        for name in ("OptMinMem", "RecExpand", "FullRecExpand"):
+            assert summary["algorithms"][name]["wins"] == 1.0
+
+
+class TestReport:
+    def test_run_figures_subset(self):
+        out = run_figures("tiny", figure_ids=["fig10"])
+        assert set(out) == {"fig10"}
+        assert "seconds" in out["fig10"]
+
+    def test_report_serialises_to_json(self):
+        report = ExperimentReport(scale="tiny", started_at=0.0)
+        report.counterexamples = run_counterexamples(
+            fig2a_extensions=(0,), fig2c_ks=(2,)
+        )
+        report.figures = run_figures("tiny", figure_ids=["fig10"])
+        payload = json.loads(report.to_json())
+        assert payload["scale"] == "tiny"
+        assert "fig2b" in payload["counterexamples"]
+
+    def test_report_to_text_renders_tables(self):
+        report = ExperimentReport(scale="tiny", started_at=0.0)
+        report.counterexamples = run_counterexamples(
+            fig2a_extensions=(0,), fig2c_ks=(2,)
+        )
+        report.figures = run_figures("tiny", figure_ids=["fig10"])
+        text = report_to_text(report)
+        assert "counterexamples" in text
+        assert "fig10" in text
+        assert "RecExpand" in text
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        run_figures("tiny", figure_ids=["fig10"], progress=seen.append)
+        assert len(seen) == 1 and "fig10" in seen[0]

@@ -1,0 +1,194 @@
+"""Unit tests for the FiF out-of-core simulator (Theorem 1 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.simulator import (
+    InfeasibleSchedule,
+    fif_io_volume,
+    fif_traversal,
+    schedule_peak_memory,
+    simulate_fif,
+)
+from repro.core.traversal import validate
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import task_trees, trees_with_memory
+
+
+def two_chain_tree() -> TaskTree:
+    """root(1) <- {A(2) <- leafA(5), B(3) <- leafB(6)}"""
+    return TaskTree([-1, 0, 1, 0, 3], [1, 2, 5, 3, 6])
+
+
+class TestBasics:
+    def test_no_io_when_memory_ample(self):
+        tree = two_chain_tree()
+        schedule = [2, 1, 4, 3, 0]
+        res = simulate_fif(tree, schedule, 100)
+        assert res.io_volume == 0
+        assert res.io == {}
+
+    def test_unbounded_memory_reports_peak(self):
+        tree = two_chain_tree()
+        # leafB (wbar 6) runs while A's output (2) is active -> 8.
+        assert schedule_peak_memory(tree, [2, 1, 4, 3, 0]) == 8
+
+    def test_eviction_happens_exactly_when_needed(self):
+        tree = two_chain_tree()
+        res = simulate_fif(tree, [2, 1, 4, 3, 0], 7)
+        # At leafB: need 6 + 2 (A active) = 8 > 7 -> evict 1 unit of A.
+        assert res.io == {1: 1}
+        assert res.io_volume == 1
+        assert res.peak_memory == 7
+
+    def test_io_counted_once_not_per_read(self):
+        tree = chain_tree([1, 1, 10])
+        res = simulate_fif(tree, [2, 1, 0], 10)
+        assert res.io_volume == 0
+
+    def test_victim_is_furthest_in_future(self):
+        # Two actives; the one whose parent runs later must be evicted.
+        # root(1) <- m(2) <- {a(3), b(3)}; plus root <- c(4).
+        tree = TaskTree([-1, 0, 1, 1, 0], [1, 2, 3, 3, 4])
+        # order: a, b, m, c, root — after m, actives: m(2).
+        # order: a, c, b, m, root — at b: actives a(3), c(4): need 3+7=10.
+        res = simulate_fif(tree, [2, 4, 3, 1, 0], 8)
+        # c's parent (root, pos 4) is later than a's parent (m, pos 3):
+        # FiF evicts from c first.
+        assert res.io.get(4, 0) == 2
+        assert res.io.get(2, 0) == 0
+
+    def test_partial_then_further_eviction_same_node(self):
+        tree = star_tree(3, [4, 4, 4])
+        # leaves one after another, M=8: at leaf2 need 4+4=8 ok; at leaf3
+        # need 4+8=12 -> evict 4; root needs all back: wbar=12 > 8 → infeasible.
+        with pytest.raises(InfeasibleSchedule):
+            simulate_fif(tree, [1, 2, 3, 0], 8)
+
+    def test_infeasible_when_wbar_exceeds_memory(self):
+        tree = chain_tree([1, 5])
+        with pytest.raises(InfeasibleSchedule, match="wbar=5 > M=4"):
+            simulate_fif(tree, [1, 0], 4)
+
+    def test_zero_weight_nodes(self):
+        tree = TaskTree([-1, 0, 1], [2, 0, 2])
+        res = simulate_fif(tree, [2, 1, 0], 2)
+        assert res.io_volume == 0
+
+    def test_io_list_alignment(self):
+        tree = two_chain_tree()
+        res = simulate_fif(tree, [2, 1, 4, 3, 0], 7)
+        assert res.io_list(tree.n) == (0, 1, 0, 0, 0)
+
+
+class TestTrace:
+    def test_trace_disabled_by_default(self):
+        tree = two_chain_tree()
+        assert simulate_fif(tree, [2, 1, 4, 3, 0], 7).steps == ()
+
+    def test_trace_records_steps_in_order(self):
+        tree = two_chain_tree()
+        res = simulate_fif(tree, [2, 1, 4, 3, 0], 7, trace=True)
+        assert [s.node for s in res.steps] == [2, 1, 4, 3, 0]
+
+    def test_trace_eviction_and_reads(self):
+        tree = two_chain_tree()
+        res = simulate_fif(tree, [2, 1, 4, 3, 0], 7, trace=True)
+        step_leaf_b = res.steps[2]
+        assert step_leaf_b.evictions == ((1, 1),)
+        # Node A (=1) was partially written; the root reads it back.
+        root_step = res.steps[4]
+        assert root_step.reads == 1
+
+    def test_trace_need_before(self):
+        tree = two_chain_tree()
+        res = simulate_fif(tree, [2, 1, 4, 3, 0], 7, trace=True)
+        assert res.steps[2].need_before == 8
+
+
+class TestSubtreeSchedules:
+    def test_subtree_simulation_root_parent_outside(self):
+        tree = two_chain_tree()
+        # Simulate only the A-branch: leafA, A — A's parent (root) is not
+        # part of the schedule.
+        res = simulate_fif(tree, [2, 1], 5)
+        assert res.io_volume == 0
+
+    def test_subtree_peak(self):
+        tree = two_chain_tree()
+        assert simulate_fif(tree, [2, 1], None).peak_memory == 5
+
+
+class TestFifTraversal:
+    def test_produces_valid_traversal(self):
+        tree = two_chain_tree()
+        traversal = fif_traversal(tree, [2, 1, 4, 3, 0], 7)
+        validate(tree, traversal, 7)
+        assert traversal.io_volume == 1
+
+    def test_io_volume_shortcut(self):
+        tree = two_chain_tree()
+        assert fif_io_volume(tree, [2, 1, 4, 3, 0], 7) == 1
+
+
+class TestProperties:
+    @given(trees_with_memory())
+    def test_fif_result_is_always_valid(self, tree_memory):
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        traversal = fif_traversal(tree, schedule, memory)
+        validate(tree, traversal, memory)
+
+    @given(trees_with_memory())
+    def test_zero_io_iff_peak_fits(self, tree_memory):
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        peak = schedule_peak_memory(tree, schedule)
+        io = fif_io_volume(tree, schedule, memory)
+        assert (io == 0) == (peak <= memory)
+
+    @given(trees_with_memory())
+    def test_io_monotone_in_memory(self, tree_memory):
+        tree, memory = tree_memory
+        schedule = list(reversed(tree.topological_order()))
+        io_small = fif_io_volume(tree, schedule, memory)
+        io_large = fif_io_volume(tree, schedule, memory + 1)
+        assert io_large <= io_small
+
+    @given(task_trees(max_nodes=8))
+    def test_peak_at_least_lb(self, tree):
+        schedule = list(reversed(tree.topological_order()))
+        assert schedule_peak_memory(tree, schedule) >= tree.min_feasible_memory()
+
+    @given(trees_with_memory(max_nodes=6))
+    def test_fif_optimal_among_feasible_io_functions(self, tree_memory):
+        """Theorem 1 on tiny instances: no valid tau beats FiF's volume.
+
+        Exhaustively search I/O functions over a coarse grid for the fixed
+        schedule and check none is both valid and cheaper.
+        """
+        from itertools import product
+
+        from repro.core.traversal import InvalidTraversal, Traversal
+        from repro.core.traversal import validate as check
+
+        tree, memory = tree_memory
+        if tree.n > 5:
+            return  # keep the cartesian product tiny
+        schedule = tuple(reversed(tree.topological_order()))
+        fif = fif_io_volume(tree, schedule, memory)
+        options = [range(tree.weights[v] + 1) for v in range(tree.n)]
+        best = None
+        for io in product(*options):
+            try:
+                check(tree, Traversal(schedule, io), memory)
+            except InvalidTraversal:
+                continue
+            vol = sum(io)
+            best = vol if best is None else min(best, vol)
+        assert best is not None, "FiF found a solution so one must exist"
+        assert fif == best

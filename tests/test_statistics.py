@@ -1,0 +1,152 @@
+"""Tests for the statistical helpers (repro.analysis.statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.statistics import (
+    PairwiseComparison,
+    bootstrap_ci,
+    paired_permutation_test,
+    pairwise_comparison,
+    wilcoxon_signed_rank,
+    win_tie_loss,
+)
+
+
+class TestBootstrap:
+    def test_ci_brackets_the_mean_of_a_tight_sample(self):
+        lo, hi = bootstrap_ci([5.0] * 50, seed=1)
+        assert lo == hi == 5.0
+
+    def test_ci_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(10.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(sample, seed=2)
+        assert lo < 10.0 < hi
+
+    def test_seed_determinism(self):
+        sample = [1.0, 4.0, 2.0, 8.0, 5.0]
+        assert bootstrap_ci(sample, seed=3) == bootstrap_ci(sample, seed=3)
+
+    def test_single_value_degenerate(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_custom_statistic(self):
+        lo, hi = bootstrap_ci([1.0, 2.0, 100.0], statistic=np.median, seed=4)
+        assert lo >= 1.0 and hi <= 100.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=20)
+    def test_ci_is_ordered(self, sample):
+        lo, hi = bootstrap_ci(sample, n_boot=200, seed=5)
+        assert lo <= hi
+
+
+class TestPermutationTest:
+    def test_identical_samples_give_p_one(self):
+        a = [3.0, 1.0, 4.0]
+        assert paired_permutation_test(a, a) == 1.0
+
+    def test_obvious_difference_is_significant(self):
+        rng = np.random.default_rng(1)
+        b = rng.normal(0, 0.1, size=60)
+        a = b + 5.0
+        assert paired_permutation_test(a, b, seed=6) < 0.01
+
+    def test_noise_is_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, size=60)
+        b = rng.normal(0, 1, size=60)
+        assert paired_permutation_test(a, b, seed=7) > 0.01
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([1.0], [1.0, 2.0])
+
+    def test_p_value_in_unit_interval(self):
+        p = paired_permutation_test([1, 2, 3], [3, 2, 1], seed=8)
+        assert 0.0 < p <= 1.0
+
+
+class TestWilcoxon:
+    def test_ties_give_p_one(self):
+        assert wilcoxon_signed_rank([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_consistent_direction_is_significant(self):
+        a = list(range(30))
+        b = [x + 2 for x in a]
+        assert wilcoxon_signed_rank(a, b) < 0.01
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1.0], [1.0, 2.0])
+
+
+class TestWinTieLoss:
+    def test_counts(self):
+        a = [1, 5, 3, 3]
+        b = [2, 4, 3, 3]
+        assert win_tie_loss(a, b) == (1, 2, 1)
+
+    def test_total_preserved(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = [5.0, 4.0, 3.0, 2.0, 1.0]
+        w, t, l = win_tie_loss(a, b)
+        assert w + t + l == 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            win_tie_loss([1], [1, 2])
+
+
+class TestPairwise:
+    def test_all_pairs_present(self):
+        rows = pairwise_comparison(
+            {"A": [1, 2, 3], "B": [2, 2, 2], "C": [3, 3, 3]}
+        )
+        pairs = {(r.first, r.second) for r in rows}
+        assert pairs == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_row_fields_consistent(self):
+        rows = pairwise_comparison({"A": [1, 1, 1, 1], "B": [2, 2, 2, 0]})
+        (row,) = rows
+        assert isinstance(row, PairwiseComparison)
+        assert row.wins + row.ties + row.losses == 4
+        assert row.mean_diff_ci[0] <= row.mean_diff <= row.mean_diff_ci[1]
+
+    def test_dominant_algorithm_is_significant(self):
+        a = list(np.arange(40, dtype=float))
+        b = [x + 10 for x in a]
+        rows = pairwise_comparison({"good": a, "bad": b}, seed=9)
+        (row,) = rows
+        assert row.significant()
+        assert (row.first, row.wins, row.losses) == ("bad", 0, 40)
+
+    def test_on_real_figure_data(self):
+        """End-to-end: pairwise stats over an actual experiment run."""
+        from repro.experiments.figures import run_comparison
+        from repro.experiments.datasets import build_synth
+
+        result = run_comparison(
+            "stats-e2e",
+            build_synth("tiny"),
+            "Mmid",
+            ("OptMinMem", "RecExpand"),
+        )
+        rows = pairwise_comparison(
+            {a: list(v) for a, v in result.io_volumes.items()}
+        )
+        (row,) = rows
+        # RecExpand never loses to OptMinMem (it starts from Liu's schedule).
+        if row.first == "OptMinMem":
+            assert row.wins == 0
+        else:
+            assert row.losses == 0

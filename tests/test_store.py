@@ -1,0 +1,81 @@
+"""Tests for the dataset store (repro.datasets.store)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.tree import chain_tree, star_tree
+from repro.datasets.store import StoredTree, iter_trees, load_trees, save_trees
+
+from .conftest import task_trees
+
+
+class TestRoundTrip:
+    @given(tree=task_trees(max_nodes=12))
+    @settings(max_examples=25)
+    def test_single_tree_round_trip(self, tree, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "one.jsonl"
+        save_trees(path, [StoredTree("t", tree, {"seed": 1})])
+        (loaded,) = load_trees(path)
+        assert loaded.tree == tree
+        assert loaded.name == "t"
+        assert loaded.meta == {"seed": 1}
+
+    def test_collection_order_preserved(self, tmp_path):
+        trees = [chain_tree([2, 3]), star_tree(1, [4, 5]), chain_tree([7])]
+        path = tmp_path / "many.jsonl"
+        assert save_trees(path, trees) == 3
+        loaded = load_trees(path)
+        assert [s.tree for s in loaded] == trees
+
+    def test_bare_trees_get_index_names(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        save_trees(path, [chain_tree([1, 1]), chain_tree([2, 2])])
+        names = [s.name for s in load_trees(path)]
+        assert names == ["tree-0", "tree-1"]
+
+    def test_streaming_matches_load(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        save_trees(path, [chain_tree([2, 3])] * 5)
+        assert len(list(iter_trees(path))) == len(load_trees(path)) == 5
+
+
+class TestRobustness:
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_trees(path, [chain_tree([2, 3])])
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trees(path)) == 1
+
+    def test_corrupt_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trees(path, [chain_tree([2, 3])])
+        path.write_text(path.read_text() + "{broken\n")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_trees(path)
+
+    def test_invalid_tree_structure_rejected(self, tmp_path):
+        path = tmp_path / "cyc.jsonl"
+        path.write_text('{"name":"x","parents":[1,0],"weights":[1,1]}\n')
+        with pytest.raises(ValueError, match="bad tree record"):
+            load_trees(path)
+
+    def test_end_to_end_with_dataset_builder(self, tmp_path):
+        """Cache a built dataset and rerun a comparison from the cache."""
+        from repro.experiments.datasets import build_synth
+        from repro.experiments.figures import run_comparison
+
+        trees = build_synth("tiny")
+        path = tmp_path / "synth_tiny.jsonl"
+        save_trees(
+            path,
+            (StoredTree(f"synth-{i}", t, {"scale": "tiny"})
+             for i, t in enumerate(trees)),
+        )
+        reloaded = [s.tree for s in load_trees(path)]
+        assert reloaded == trees
+        result = run_comparison(
+            "from-cache", reloaded[:6], "Mmid", ("OptMinMem", "RecExpand")
+        )
+        assert result.num_instances > 0

@@ -1,0 +1,158 @@
+"""Tests for the SYNTH generators: shape counts, uniformity, determinism."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.tree import TaskTree
+from repro.datasets.synth import (
+    random_binary_tree,
+    random_plane_tree,
+    random_weights,
+    synth_dataset,
+    synth_instance,
+)
+
+
+def canonical_shape(tree: TaskTree) -> tuple:
+    """A canonical form treating children as ordered by subtree canon."""
+
+    def canon(v: int) -> tuple:
+        return tuple(sorted(canon(c) for c in tree.children[v]))
+
+    return canon(tree.root)
+
+
+CATALAN = [1, 1, 2, 5, 14, 42, 132]
+
+
+class TestBinaryTrees:
+    def test_sizes(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 5, 50, 500):
+            tree = random_binary_tree(n, rng)
+            assert tree.n == n
+
+    def test_binary_arity(self):
+        rng = np.random.default_rng(1)
+        tree = random_binary_tree(200, rng)
+        assert all(len(c) <= 2 for c in tree.children)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_binary_tree(0, np.random.default_rng(0))
+
+    def test_unit_weights_by_default(self):
+        tree = random_binary_tree(10, np.random.default_rng(2))
+        assert set(tree.weights) == {1}
+
+    def test_unordered_shape_distribution_n3(self):
+        """n=3 binary trees: 5 ordered shapes collapse to 3 unordered ones
+        with multiplicities 4 (chains), 1 (cherry+...).
+
+        Unordered: chain (4 ordered variants), root with two leaves (1).
+        So expect chain:balanced at 4:1.
+        """
+        rng = np.random.default_rng(3)
+        counts = Counter(
+            canonical_shape(random_binary_tree(3, rng)) for _ in range(5000)
+        )
+        assert len(counts) == 2
+        chain = (((),),)
+        balanced = ((), ())
+        ratio = counts[chain] / counts[balanced]
+        assert 3.4 < ratio < 4.6  # 4 ± sampling noise
+
+    def test_expected_leaf_fraction(self):
+        """Uniform Catalan binary trees: node out-degrees converge to
+        (0, 1, 2 children) ~ (1/4, 1/2, 1/4), so the leaf fraction is ~1/4."""
+        rng = np.random.default_rng(4)
+        tree = random_binary_tree(3000, rng)
+        frac = len(tree.leaves()) / tree.n
+        assert 0.21 < frac < 0.29
+        two_child = sum(1 for c in tree.children if len(c) == 2) / tree.n
+        assert 0.21 < two_child < 0.29
+
+    def test_determinism_with_same_seed(self):
+        a = random_binary_tree(50, np.random.default_rng(7))
+        b = random_binary_tree(50, np.random.default_rng(7))
+        assert a == b
+
+
+class TestPlaneTrees:
+    def test_sizes(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 3, 10, 200):
+            assert random_plane_tree(n, rng).n == n
+
+    def test_single_node(self):
+        assert random_plane_tree(1, np.random.default_rng(0)).n == 1
+
+    def test_shape_distribution_n4(self):
+        """Plane trees with 4 nodes: C_3 = 5 ordered shapes; unordered
+        multiplicities: chain 1, root-3-leaves 1, cherry-over-chain ... .
+
+        Count by root arity instead (exact): arity 1: C_2=2, arity 2: 2,
+        arity 3: 1 of the 5 ordered shapes.
+        """
+        rng = np.random.default_rng(5)
+        arity = Counter(
+            len(random_plane_tree(4, rng).children[random_plane_tree(1, rng).root])
+            for _ in range(0)
+        )
+        # simpler: root arity of each sample
+        samples = [random_plane_tree(4, rng) for _ in range(5000)]
+        arity = Counter(len(t.children[t.root]) for t in samples)
+        total = sum(arity.values())
+        assert abs(arity[1] / total - 2 / 5) < 0.05
+        assert abs(arity[2] / total - 2 / 5) < 0.05
+        assert abs(arity[3] / total - 1 / 5) < 0.05
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_plane_tree(0, np.random.default_rng(0))
+
+
+class TestWeights:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        ws = random_weights(1000, rng, 1, 100)
+        assert min(ws) >= 1 and max(ws) <= 100
+        assert min(ws) < 10 and max(ws) > 90  # both tails exercised
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            random_weights(5, np.random.default_rng(0), 5, 4)
+
+    def test_plain_ints(self):
+        ws = random_weights(5, np.random.default_rng(0))
+        assert all(type(w) is int for w in ws)
+
+
+class TestDatasetAssembly:
+    def test_instance_deterministic(self):
+        assert synth_instance(100, seed=3) == synth_instance(100, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert synth_instance(100, seed=3) != synth_instance(100, seed=4)
+
+    def test_dataset_shape(self):
+        ds = synth_dataset(5, 60, seed=1)
+        assert len(ds) == 5
+        assert all(t.n == 60 for t in ds)
+        assert len({t for t in ds}) == 5  # all distinct
+
+    def test_plane_shape_option(self):
+        t = synth_instance(50, seed=1, shape="plane")
+        assert t.n == 50
+
+    def test_rejects_unknown_shape(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            synth_instance(10, seed=0, shape="triangular")
+
+    def test_weight_range_option(self):
+        t = synth_instance(200, seed=0, weight_range=(5, 7))
+        assert set(t.weights) <= {5, 6, 7}

@@ -1,0 +1,151 @@
+"""Unit tests for traversals and the independent validity checker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.traversal import InvalidTraversal, Traversal, is_postorder, validate
+from repro.core.tree import TaskTree, chain_tree, star_tree
+
+from .conftest import task_trees
+
+
+def t3() -> TaskTree:
+    """root(2) <- {1(3), 2(4)}"""
+    return TaskTree([-1, 0, 0], [2, 3, 4])
+
+
+class TestTraversalObject:
+    def test_io_volume(self):
+        tr = Traversal((1, 2, 0), (0, 2, 3))
+        assert tr.io_volume == 5
+
+    def test_performance_metric(self):
+        tr = Traversal((0,), (0,))
+        assert tr.performance(10) == 1.0
+        tr = Traversal((0,), (10,))
+        assert tr.performance(10) == 2.0
+
+    def test_position(self):
+        tr = Traversal((2, 0, 1), (0, 0, 0))
+        assert tr.position() == {2: 0, 0: 1, 1: 2}
+
+    def test_from_schedule(self):
+        tr = Traversal.from_schedule([1, 0], [0, 0])
+        assert tr.schedule == (1, 0)
+
+    def test_frozen(self):
+        tr = Traversal((0,), (0,))
+        with pytest.raises(AttributeError):
+            tr.schedule = (1,)  # type: ignore[misc]
+
+
+class TestValidate:
+    def test_valid_traversal_passes(self):
+        tree = t3()
+        validate(tree, Traversal((1, 2, 0), (0, 0, 0)), memory=7)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidTraversal, match="permutation"):
+            validate(t3(), Traversal((1, 1, 0), (0, 0, 0)), 100)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(InvalidTraversal, match="permutation"):
+            validate(t3(), Traversal((1, 0), (0, 0, 0)), 100)
+
+    def test_rejects_parent_before_child(self):
+        with pytest.raises(InvalidTraversal, match="before its parent"):
+            validate(t3(), Traversal((0, 1, 2), (0, 0, 0)), 100)
+
+    def test_rejects_io_out_of_range(self):
+        with pytest.raises(InvalidTraversal, match="out of range"):
+            validate(t3(), Traversal((1, 2, 0), (0, 4, 0)), 100)
+
+    def test_rejects_negative_io(self):
+        with pytest.raises(InvalidTraversal, match="out of range"):
+            validate(t3(), Traversal((1, 2, 0), (0, -1, 0)), 100)
+
+    def test_rejects_misaligned_io(self):
+        with pytest.raises(InvalidTraversal, match="aligned"):
+            validate(t3(), Traversal((1, 2, 0), (0, 0)), 100)
+
+    def test_memory_violation_detected(self):
+        # Executing 2 (wbar=4) while 1's output (3) is active needs 7.
+        with pytest.raises(InvalidTraversal, match="needs 7 > M=6"):
+            validate(t3(), Traversal((1, 2, 0), (0, 0, 0)), 6)
+
+    def test_io_relieves_memory_pressure(self):
+        # root(1) <- {a(2) <- leafA(6), b(2) <- leafB(6)}; at leafB the
+        # active output of a must be (partly) on disk to fit M=6.
+        tree = TaskTree([-1, 0, 0, 1, 2], [1, 2, 2, 6, 6])
+        schedule = (3, 1, 4, 2, 0)
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal(schedule, (0, 0, 0, 0, 0)), 6)
+        validate(tree, Traversal(schedule, (0, 2, 0, 0, 0)), 6)
+
+    def test_children_not_counted_as_active_at_parent_step(self):
+        # At the root step, inputs are inside wbar, not double counted.
+        tree = t3()
+        validate(tree, Traversal((1, 2, 0), (0, 0, 0)), memory=7)
+        with pytest.raises(InvalidTraversal):
+            validate(tree, Traversal((1, 2, 0), (0, 0, 0)), memory=6)
+
+    def test_root_io_never_needed_but_allowed(self):
+        validate(t3(), Traversal((1, 2, 0), (0, 0, 2)), 7)
+
+    def test_single_node(self):
+        validate(TaskTree([-1], [5]), Traversal((0,), (0,)), 5)
+        with pytest.raises(InvalidTraversal):
+            validate(TaskTree([-1], [5]), Traversal((0,), (0,)), 4)
+
+    def test_deep_chain_no_recursion(self):
+        n = 20_000
+        tree = TaskTree([i - 1 for i in range(n)], [1] * n)
+        schedule = tuple(range(n - 1, -1, -1))
+        validate(tree, Traversal(schedule, (0,) * n), 1)
+
+
+class TestIsPostorder:
+    def test_chain_always_postorder(self):
+        tree = chain_tree([1, 2, 3])
+        assert is_postorder(tree, [2, 1, 0])
+
+    def test_star_any_leaf_order_is_postorder(self):
+        tree = star_tree(1, [1, 1, 1])
+        assert is_postorder(tree, [3, 1, 2, 0])
+
+    def test_interleaving_detected(self):
+        # Two chains under a root; alternating them is not a postorder.
+        tree = TaskTree([-1, 0, 0, 1, 2], [1] * 5)
+        assert is_postorder(tree, [3, 1, 4, 2, 0])
+        assert not is_postorder(tree, [3, 4, 1, 2, 0])
+
+    def test_subtree_must_end_with_its_root(self):
+        tree = TaskTree([-1, 0, 1, 1], [1] * 4)
+        assert is_postorder(tree, [2, 3, 1, 0])
+
+    def test_parent_scheduled_before_child_rejected(self):
+        tree = TaskTree([-1, 0], [1, 1])
+        assert not is_postorder(tree, [0, 1])
+
+    @given(task_trees(max_nodes=9))
+    def test_tree_postorder_method_is_postorder(self, tree: TaskTree):
+        assert is_postorder(tree, tree.postorder())
+
+
+class TestPropertyBased:
+    @given(task_trees(max_nodes=9))
+    def test_zero_io_valid_at_total_weight(self, tree: TaskTree):
+        # With M = total weight any topological order fits without I/O.
+        schedule = tuple(reversed(tree.topological_order()))
+        validate(tree, Traversal(schedule, (0,) * tree.n), tree.total_weight())
+
+    @given(task_trees(max_nodes=9))
+    def test_full_io_always_valid_at_lb(self, tree: TaskTree):
+        # Writing every non-root output fully needs exactly max(wbar).
+        io = tuple(
+            tree.weights[v] if tree.parents[v] != -1 else 0 for v in range(tree.n)
+        )
+        schedule = tuple(reversed(tree.topological_order()))
+        validate(tree, Traversal(schedule, io), tree.min_feasible_memory())

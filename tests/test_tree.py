@@ -1,0 +1,252 @@
+"""Unit tests for the TaskTree data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.tree import (
+    TaskTree,
+    TreeError,
+    balanced_binary_tree,
+    chain_tree,
+    star_tree,
+)
+
+from .conftest import task_trees
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = TaskTree([-1], [5])
+        assert t.n == 1
+        assert t.root == 0
+        assert t.weights == (5,)
+        assert t.children == ((),)
+
+    def test_two_levels(self):
+        t = TaskTree([-1, 0, 0], [1, 2, 3])
+        assert t.root == 0
+        assert set(t.children[0]) == {1, 2}
+        assert t.parents == (-1, 0, 0)
+
+    def test_children_preserve_insertion_order(self):
+        t = TaskTree([2, 2, -1], [1, 1, 1])
+        assert t.children[2] == (0, 1)
+
+    def test_zero_weight_allowed(self):
+        t = TaskTree([-1, 0], [0, 0])
+        assert t.weights == (0, 0)
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(TreeError, match="negative"):
+            TaskTree([-1], [-1])
+
+    def test_rejects_non_integer_weight(self):
+        with pytest.raises(TreeError, match="not an integer"):
+            TaskTree([-1], [1.5])
+
+    def test_accepts_integral_float(self):
+        assert TaskTree([-1], [2.0]).weights == (2,)
+
+    def test_rejects_bool_weight(self):
+        with pytest.raises(TreeError, match="not an integer"):
+            TaskTree([-1], [True])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TreeError, match="at least one node"):
+            TaskTree([], [])
+
+    def test_rejects_two_roots(self):
+        with pytest.raises(TreeError, match="two roots"):
+            TaskTree([-1, -1], [1, 1])
+
+    def test_rejects_no_root(self):
+        with pytest.raises(TreeError, match="cycle|no root"):
+            TaskTree([1, 0], [1, 1])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TreeError, match="out-of-range"):
+            TaskTree([-1, 5], [1, 1])
+
+    def test_rejects_cycle_with_root(self):
+        # 0 is root; 1 and 2 form a 2-cycle disconnected from it.
+        with pytest.raises(TreeError, match="connected|cycle"):
+            TaskTree([-1, 2, 1], [1, 1, 1])
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(TreeError, match="disagree"):
+            TaskTree([-1, 0], [1])
+
+    def test_from_edges(self):
+        t = TaskTree.from_edges(3, [(1, 0), (2, 0)], [5, 6, 7])
+        assert t.parents == (-1, 0, 0)
+
+    def test_from_edges_rejects_double_parent(self):
+        with pytest.raises(TreeError, match="two parents"):
+            TaskTree.from_edges(3, [(1, 0), (1, 2)], [1, 1, 1])
+
+    def test_dict_roundtrip(self):
+        t = TaskTree([-1, 0, 1, 1], [4, 3, 2, 1])
+        assert TaskTree.from_dict(t.to_dict()) == t
+
+    def test_equality_and_hash(self):
+        a = TaskTree([-1, 0], [1, 2])
+        b = TaskTree([-1, 0], [1, 2])
+        c = TaskTree([-1, 0], [1, 3])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a tree"
+
+    def test_repr_mentions_size(self):
+        assert "n=2" in repr(TaskTree([-1, 0], [1, 2]))
+
+
+class TestDerivedQuantities:
+    def test_wbar_leaf_is_weight(self):
+        t = TaskTree([-1, 0], [1, 7])
+        assert t.wbar[1] == 7
+
+    def test_wbar_inner_max_of_inputs_and_output(self):
+        # node 0 consumes 4+5=9 > its own 3
+        t = TaskTree([-1, 0, 0], [3, 4, 5])
+        assert t.wbar[0] == 9
+        # now its own output dominates
+        t = TaskTree([-1, 0, 0], [30, 4, 5])
+        assert t.wbar[0] == 30
+
+    def test_min_feasible_memory(self):
+        t = TaskTree([-1, 0, 0], [3, 4, 5])
+        assert t.min_feasible_memory() == 9
+
+    def test_total_weight(self):
+        assert TaskTree([-1, 0, 0], [3, 4, 5]).total_weight() == 12
+
+    def test_subtree_size(self):
+        t = TaskTree([-1, 0, 0, 1, 1], [1] * 5)
+        assert t.subtree_size(t.root) == 5
+        assert t.subtree_size(1) == 3
+        assert t.subtree_size(2) == 1
+
+    def test_depth_chain(self):
+        assert chain_tree([1, 1, 1, 1]).depth() == 3
+
+    def test_depth_star(self):
+        assert star_tree(1, [1, 1, 1]).depth() == 1
+
+    def test_depth_single(self):
+        assert TaskTree([-1], [1]).depth() == 0
+
+    def test_leaves(self):
+        t = TaskTree([-1, 0, 0, 1], [1] * 4)
+        assert sorted(t.leaves()) == [2, 3]
+
+    def test_path_to_root(self):
+        t = chain_tree([1, 2, 3])
+        assert t.path_to_root(2) == [2, 1, 0]
+        assert t.path_to_root(0) == [0]
+
+
+class TestTraversalHelpers:
+    def test_topological_order_root_first(self):
+        t = TaskTree([1, 2, -1], [1, 1, 1])
+        topo = t.topological_order()
+        assert topo[0] == t.root
+        pos = {v: i for i, v in enumerate(topo)}
+        for v in range(t.n):
+            if t.parents[v] != -1:
+                assert pos[t.parents[v]] < pos[v]
+
+    def test_bottom_up_children_first(self):
+        t = TaskTree([-1, 0, 0, 1], [1] * 4)
+        seen = set()
+        for v in t.bottom_up():
+            for c in t.children[v]:
+                assert c in seen
+            seen.add(v)
+
+    def test_subtree_nodes(self):
+        t = TaskTree([-1, 0, 0, 1, 1], [1] * 5)
+        assert set(t.subtree_nodes(1)) == {1, 3, 4}
+        assert t.subtree_nodes(1)[0] == 1
+
+    def test_postorder_default(self):
+        t = TaskTree([-1, 0, 0], [1, 1, 1])
+        po = t.postorder()
+        assert po[-1] == 0
+        assert sorted(po) == [0, 1, 2]
+
+    def test_postorder_respects_child_order(self):
+        t = TaskTree([-1, 0, 0], [1, 1, 1])
+        assert t.postorder(lambda v: (2, 1) if v == 0 else ()) == [2, 1, 0]
+
+    def test_postorder_deep_chain_no_recursion_error(self):
+        n = 50_000
+        t = TaskTree([i - 1 for i in range(n)], [1] * n)
+        po = t.postorder()
+        assert po[0] == n - 1 and po[-1] == 0
+
+    def test_relabeled_isomorphic(self):
+        t = TaskTree([-1, 0, 0], [5, 6, 7])
+        r = t.relabeled([2, 0, 1])  # new 0 = old 2
+        assert r.weights == (7, 5, 6)
+        assert r.root == 1
+        assert r.min_feasible_memory() == t.min_feasible_memory()
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(TreeError, match="permutation"):
+            TaskTree([-1, 0], [1, 1]).relabeled([0, 0])
+
+    def test_with_weights(self):
+        t = TaskTree([-1, 0], [1, 2]).with_weights([9, 8])
+        assert t.weights == (9, 8)
+
+    def test_len(self):
+        assert len(TaskTree([-1, 0], [1, 1])) == 2
+
+
+class TestNamedConstructors:
+    def test_chain_tree_orientation(self):
+        t = chain_tree([10, 20, 30])
+        assert t.root == 0
+        assert t.weights[t.leaves()[0]] == 30
+
+    def test_star_tree(self):
+        t = star_tree(5, [1, 2, 3])
+        assert t.root == 0
+        assert len(t.children[0]) == 3
+        assert t.wbar[0] == 6
+
+    def test_balanced_binary_tree_size(self):
+        t = balanced_binary_tree(3)
+        assert t.n == 15
+        assert all(len(c) in (0, 2) for c in t.children)
+
+    def test_balanced_binary_tree_weight_function(self):
+        t = balanced_binary_tree(1, weight=lambda i: i + 1)
+        assert t.weights == (1, 2, 3)
+
+
+class TestPropertyBased:
+    @given(task_trees(max_nodes=12))
+    def test_roundtrip_and_invariants(self, tree: TaskTree):
+        assert TaskTree.from_dict(tree.to_dict()) == tree
+        assert len(tree.topological_order()) == tree.n
+        assert tree.subtree_size(tree.root) == tree.n
+        assert sum(len(c) for c in tree.children) == tree.n - 1
+        assert tree.min_feasible_memory() == max(tree.wbar)
+
+    @given(task_trees(max_nodes=12))
+    def test_postorder_is_topological(self, tree: TaskTree):
+        po = tree.postorder()
+        pos = {v: i for i, v in enumerate(po)}
+        assert sorted(po) == list(range(tree.n))
+        for v in range(tree.n):
+            if tree.parents[v] != -1:
+                assert pos[v] < pos[tree.parents[v]]
+
+    @given(task_trees(max_nodes=10))
+    def test_wbar_definition(self, tree: TaskTree):
+        for v in range(tree.n):
+            inputs = sum(tree.weights[c] for c in tree.children[v])
+            assert tree.wbar[v] == max(tree.weights[v], inputs)

@@ -1,0 +1,79 @@
+"""Tests for the tree-statistics analysis module."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.analysis.tree_stats import TreeStats, dataset_table, tree_stats
+from repro.core.tree import TaskTree, balanced_binary_tree, chain_tree, star_tree
+
+from .conftest import task_trees
+
+
+class TestTreeStats:
+    def test_chain(self):
+        stats = tree_stats(chain_tree([1, 2, 3, 4]))
+        assert stats.n == 4
+        assert stats.depth == 3
+        assert stats.leaves == 1
+        assert stats.max_arity == 1
+        assert stats.balance == pytest.approx(2 / 3)
+
+    def test_star(self):
+        stats = tree_stats(star_tree(1, [1, 1, 1, 1]))
+        assert stats.depth == 1
+        assert stats.leaves == 4
+        assert stats.max_arity == 4
+        assert stats.balance == 0.0
+
+    def test_single_node(self):
+        stats = tree_stats(TaskTree([-1], [5]))
+        assert stats.n == 1
+        assert stats.balance == 0.0
+        assert stats.mean_arity_internal == 0.0
+
+    def test_weight_statistics(self):
+        stats = tree_stats(TaskTree([-1, 0], [2, 2]))
+        assert stats.weight_cv == 0.0
+        assert stats.total_weight == 4
+        assert stats.max_weight == 2
+
+    def test_io_regime_width(self):
+        from repro.datasets.instances import figure_2b
+
+        stats = tree_stats(figure_2b().tree)
+        assert stats.io_regime_width == 2  # peak 8, LB 6
+
+    def test_balanced_tree_arity(self):
+        stats = tree_stats(balanced_binary_tree(3))
+        assert stats.max_arity == 2
+        assert stats.mean_arity_internal == pytest.approx(2.0)
+
+    @given(task_trees(max_nodes=12))
+    def test_invariants(self, tree):
+        stats = tree_stats(tree)
+        assert stats.leaves >= 1
+        assert 0 <= stats.depth <= stats.n - 1
+        assert stats.lb <= stats.peak_incore
+        assert 0.0 <= stats.balance <= 1.0
+
+
+class TestDatasetTable:
+    def test_table_shape(self):
+        trees = [chain_tree([1, 2]), star_tree(1, [1, 1])]
+        table = dataset_table(trees, name="unit")
+        lines = table.splitlines()
+        assert lines[0] == "unit: 2 trees"
+        assert "depth" in lines[1]
+        assert len(lines) == 2 + 2 + 1  # header x2, rows, aggregate
+
+    def test_aggregate_mentions_regime_count(self):
+        from repro.datasets.instances import figure_2b
+
+        table = dataset_table([figure_2b().tree])
+        assert "1/1 trees have an I/O regime" in table
+
+    def test_empty_dataset(self):
+        table = dataset_table([], name="empty")
+        assert table.splitlines()[0] == "empty: 0 trees"

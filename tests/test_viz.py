@@ -1,0 +1,163 @@
+"""Tests for the SVG/ASCII visualisation package."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.profiles import build_profile
+from repro.core.tree import TaskTree, balanced_binary_tree, chain_tree
+from repro.viz import (
+    LineChart,
+    io_sweep_chart,
+    memory_timeline_chart,
+    profile_chart,
+    tree_ascii,
+    tree_chart,
+)
+
+from .conftest import task_trees
+
+
+def _parse(svg: str) -> ET.Element:
+    """SVG output must be well-formed XML."""
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_renders_well_formed_svg(self):
+        chart = LineChart(title="t", x_label="x", y_label="y")
+        chart.add("a", [0, 1, 2], [1.0, 0.5, 0.2])
+        root = _parse(chart.render())
+        assert root.tag.endswith("svg")
+
+    def test_step_series_and_dash(self):
+        chart = LineChart()
+        chart.add("s", [0, 1], [0.2, 0.9], step=True, dash="4,2")
+        svg = chart.render()
+        assert "stroke-dasharray" in svg
+
+    def test_legend_contains_labels(self):
+        chart = LineChart()
+        chart.add("alpha<>&", [0, 1], [0, 1])
+        svg = chart.render()
+        assert "alpha&lt;&gt;&amp;" in svg  # escaped
+
+    def test_mismatched_series_rejected(self):
+        chart = LineChart()
+        with pytest.raises(ValueError):
+            chart.add("bad", [0, 1], [0])
+
+    def test_empty_series_rejected(self):
+        chart = LineChart()
+        with pytest.raises(ValueError):
+            chart.add("bad", [], [])
+
+    def test_render_without_series_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart().render()
+
+    def test_write_to_file(self, tmp_path):
+        chart = LineChart()
+        chart.add("a", [0, 1], [0, 1])
+        path = tmp_path / "chart.svg"
+        chart.write(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_degenerate_ranges_handled(self):
+        chart = LineChart()
+        chart.add("flat", [3, 3], [7, 7])  # zero-width extents
+        _parse(chart.render())
+
+
+class TestProfileChart:
+    def _profile(self):
+        return build_profile(
+            {"A": [1.0, 1.1, 1.0], "B": [1.2, 1.0, 1.3]}
+        )
+
+    def test_profile_curves_render(self):
+        svg = profile_chart(self._profile(), title="fig")
+        root = _parse(svg)
+        assert "A" in svg and "B" in svg
+        assert root is not None
+
+    def test_threshold_clipping(self):
+        svg = profile_chart(self._profile(), max_threshold=0.05)
+        _parse(svg)
+
+    def test_percent_ticks(self):
+        svg = profile_chart(self._profile())
+        assert "%" in svg
+
+
+class TestMemoryTimeline:
+    def test_timeline_with_bound(self):
+        tree = chain_tree([3, 5, 2, 6])
+        svg = memory_timeline_chart(
+            tree,
+            {"postorder": tree.postorder()},
+            memory=7,
+            title="chain",
+        )
+        _parse(svg)
+        assert "M = 7" in svg
+
+    def test_timeline_unbounded(self):
+        tree = balanced_binary_tree(2)
+        svg = memory_timeline_chart(tree, {"postorder": tree.postorder()})
+        _parse(svg)
+
+    def test_io_annotated_in_labels(self):
+        tree = TaskTree([-1, 0, 1, 0, 3], [1, 3, 4, 3, 4])
+        svg = memory_timeline_chart(tree, {"interleaved": [2, 4, 1, 3, 0]}, memory=6)
+        assert "io=" in svg
+
+
+class TestIoSweep:
+    def test_sweep_renders(self):
+        svg = io_sweep_chart(
+            chain_tree([3, 5, 2, 6]),
+            {"A": [5, 3, 0], "B": [6, 4, 1]},
+            memories=[6, 7, 8],
+        )
+        _parse(svg)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            io_sweep_chart(
+                chain_tree([1, 1]), {"A": [1, 2]}, memories=[5]
+            )
+
+
+class TestTreeViz:
+    @given(tree=task_trees(max_nodes=12))
+    @settings(max_examples=20)
+    def test_any_tree_renders_as_svg(self, tree):
+        _parse(tree_chart(tree))
+
+    def test_schedule_and_io_annotations(self):
+        from repro.datasets.instances import figure_2b
+
+        inst = figure_2b()
+        svg = tree_chart(
+            inst.tree,
+            schedule=inst.witness_schedule,
+            io={8: 3},
+            title="figure 2b",
+        )
+        _parse(svg)
+        assert "io=3" in svg and "#1" in svg
+
+    def test_ascii_contains_every_node(self):
+        tree = balanced_binary_tree(2)
+        text = tree_ascii(tree)
+        for v in range(tree.n):
+            assert f"{v} (w=" in text
+
+    def test_ascii_guards_large_trees(self):
+        tree = chain_tree([1] * 300)
+        with pytest.raises(ValueError):
+            tree_ascii(tree)
