@@ -1,0 +1,8 @@
+"""Benchmark suite package marker.
+
+The benchmark modules import shared helpers with
+``from .conftest import ...``; making ``benchmarks`` a proper package is
+what lets that relative import resolve.  Run individual benchmarks from
+the repository root, e.g.
+``PYTHONPATH=src python -m pytest benchmarks/bench_batch_engine.py``.
+"""

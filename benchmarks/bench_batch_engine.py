@@ -1,0 +1,97 @@
+"""Batch experiment engine: parallel sharding and warm-cache speedups.
+
+What must hold:
+
+* the sharded engine reproduces the serial runner's figure summaries
+  bit-for-bit (timing fields aside) at any worker count;
+* a warm-cache re-run computes **zero** units and finishes in a
+  fraction of the cold wall-clock (the residual cost is rebuilding the
+  datasets to derive the content-addressed shard keys);
+* with more than one worker on a multi-core machine, cold runs scale
+  towards ``1/jobs`` of the serial time (single-core CI boxes still run
+  the pool path, just without the speedup, so no scaling assertion is
+  made when only one CPU is available).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.datasets.store import ResultCache
+from repro.experiments.batch import run_batch_figures, run_batch_report
+from repro.experiments.runner import run_figures
+
+FIGS = ("fig4", "fig10")
+
+
+def _strip_timing(figures: dict) -> dict:
+    d = json.loads(json.dumps(figures))
+    for f in d.values():
+        f.pop("seconds", None)
+        if f.get("differing"):
+            f["differing"].pop("seconds", None)
+    return d
+
+
+def test_batch_matches_serial(benchmark, scale, emit):
+    serial = run_figures(scale.name, figure_ids=list(FIGS))
+    batched = benchmark.pedantic(
+        run_batch_figures,
+        args=(scale.name,),
+        kwargs={"figure_ids": list(FIGS)},
+        rounds=1,
+        iterations=1,
+    )
+    assert _strip_timing(serial) == _strip_timing(batched)
+    emit(
+        "batch_engine_equivalence",
+        f"scale={scale.name} figures={FIGS}: sharded == serial",
+    )
+
+
+def test_parallel_speedup(batch_jobs, scale, emit):
+    t0 = time.perf_counter()
+    serial = run_batch_report(scale.name, jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_batch_report(scale.name, jobs=batch_jobs)
+    t_parallel = time.perf_counter() - t0
+
+    assert json.loads(serial.to_json())["figures"].keys() == json.loads(
+        parallel.to_json()
+    )["figures"].keys()
+    speedup = t_serial / t_parallel
+    emit(
+        "batch_engine_speedup",
+        f"scale={scale.name} jobs={batch_jobs}: serial {t_serial:.1f}s, "
+        f"parallel {t_parallel:.1f}s, speedup {speedup:.2f}x "
+        f"(cpus={os.cpu_count()})",
+    )
+    if (os.cpu_count() or 1) >= batch_jobs > 1:
+        # Near-linear is the goal; allow generous scheduling overhead.
+        assert speedup > 1.0 + 0.25 * (batch_jobs - 1)
+
+
+def test_warm_cache_speedup(result_cache, scale, emit):
+    t0 = time.perf_counter()
+    cold = run_batch_report(scale.name, cache=result_cache)
+    t_cold = time.perf_counter() - t0
+    assert cold.batch["cache"]["misses"] == cold.batch["units_total"]
+
+    warm_cache = ResultCache(result_cache.root)
+    t0 = time.perf_counter()
+    warm = run_batch_report(scale.name, cache=warm_cache)
+    t_warm = time.perf_counter() - t0
+
+    assert warm.batch["cache"]["hits"] == warm.batch["units_total"]
+    assert warm.batch["units_computed"] == 0
+    emit(
+        "batch_engine_warm_cache",
+        f"scale={scale.name}: cold {t_cold:.1f}s, warm {t_warm:.1f}s "
+        f"({t_cold / t_warm:.1f}x)",
+    )
+    # Warm runs skip all compute; dataset (re)construction dominates.
+    assert t_warm < t_cold * 0.75

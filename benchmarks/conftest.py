@@ -46,6 +46,20 @@ def trees_dataset(scale):
     return build_trees(scale)
 
 
+@pytest.fixture(scope="session")
+def batch_jobs():
+    """Worker count for batch-engine benchmarks (``REPRO_JOBS``, default 2)."""
+    return int(os.environ.get("REPRO_JOBS", "2"))
+
+
+@pytest.fixture
+def result_cache(tmp_path):
+    """A fresh on-disk result cache rooted in the test's tmp directory."""
+    from repro.datasets.store import ResultCache
+
+    return ResultCache(tmp_path / "cache")
+
+
 @pytest.fixture
 def emit():
     """Write a named report file under benchmarks/out/ (and echo it)."""

@@ -5,8 +5,12 @@ Usage::
 
     python scripts/generate_experiments.py --scale small
     python scripts/generate_experiments.py --scale paper --figures fig5 fig9
+    python scripts/generate_experiments.py --scale paper --jobs 8
 
-The JSON report is the source of the numbers quoted in EXPERIMENTS.md.
+Runs go through the sharded batch engine (repro.experiments.batch);
+completed shards are cached under <outdir>/cache, so interrupted or
+repeated runs only recompute what changed.  The JSON report is the
+source of the numbers quoted in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -16,12 +20,13 @@ import pathlib
 import sys
 import time
 
-from repro.experiments.runner import (
-    ExperimentReport,
-    report_to_text,
-    run_counterexamples,
-    run_figures,
+from repro.datasets.store import ResultCache
+from repro.experiments.batch import (
+    BatchStats,
+    run_batch_counterexamples,
+    run_batch_figures,
 )
+from repro.experiments.runner import ExperimentReport, report_to_text
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,20 +35,44 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--figures", nargs="*", default=None,
                         help="subset of figure ids (default: all)")
     parser.add_argument("--outdir", default="results")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1, in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: <outdir>/cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     args = parser.parse_args(argv)
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir if args.cache_dir else outdir / "cache")
 
     def progress(msg: str) -> None:
         print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
+    stats = BatchStats(cache_enabled=cache is not None)
     report = ExperimentReport(scale=args.scale, started_at=time.time())
     t0 = time.perf_counter()
     progress("running counterexamples ...")
-    report.counterexamples = run_counterexamples()
+    report.counterexamples = run_batch_counterexamples(
+        jobs=args.jobs, cache=cache, stats=stats
+    )
     progress("running figures ...")
-    report.figures = run_figures(args.scale, figure_ids=args.figures, progress=progress)
+    report.figures = run_batch_figures(
+        args.scale,
+        figure_ids=args.figures,
+        jobs=args.jobs,
+        cache=cache,
+        stats=stats,
+        progress=progress,
+    )
+    if cache is not None:
+        stats.cache_hits = cache.hits
+        stats.cache_misses = cache.misses
+        progress(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.root})")
+    report.batch = stats.to_dict()
     report.elapsed_seconds = time.perf_counter() - t0
 
     stem = f"experiments_{args.scale}"

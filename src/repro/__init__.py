@@ -27,7 +27,10 @@ Package map
 ``repro.io``          page-granular paging substrate + disk timing model
 ``repro.parallel``    parallel out-of-core engine, activation windows
 ``repro.viz``         SVG/ASCII rendering of profiles, timelines and trees
-``repro.experiments`` dataset assembly, figure regeneration, full reports
+``repro.experiments`` dataset assembly, figure regeneration, full reports;
+                      ``experiments.batch`` shards the evaluation across
+                      worker processes with content-addressed result
+                      caching (see ``repro-ioschedule report --jobs``)
 """
 
 from .algorithms.brute_force import min_io_brute, min_peak_brute

@@ -14,6 +14,7 @@ Examples
     repro-ioschedule parallel --tree tree.json --memory 64 --processors 4
     repro-ioschedule draw --tree tree.json --out tree.svg
     repro-ioschedule report --scale tiny --outdir results
+    repro-ioschedule report --scale small --jobs 4 --cache-dir results/cache
 """
 
 from __future__ import annotations
@@ -188,21 +189,32 @@ def _cmd_draw(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     import pathlib
-    import time
 
-    from .experiments.runner import ExperimentReport, report_to_text, run_counterexamples, run_figures
+    from .datasets.store import ResultCache
+    from .experiments.batch import run_batch_report
+    from .experiments.runner import report_to_text
 
     outdir = pathlib.Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
-    report = ExperimentReport(scale=args.scale, started_at=time.time())
-    t0 = time.perf_counter()
-    report.counterexamples = run_counterexamples()
-    report.figures = run_figures(args.scale, progress=print)
-    report.elapsed_seconds = time.perf_counter() - t0
+    cache = None
+    if not args.no_cache:
+        cache_dir = pathlib.Path(args.cache_dir) if args.cache_dir else outdir / "cache"
+        if cache_dir.exists() and not cache_dir.is_dir():
+            print(f"error: --cache-dir {cache_dir} exists and is not a directory",
+                  file=sys.stderr)
+            return 2
+        cache = ResultCache(cache_dir)
+    report = run_batch_report(args.scale, jobs=args.jobs, cache=cache, progress=print)
     json_path = outdir / f"experiments_{args.scale}.json"
     json_path.write_text(report.to_json())
     print(report_to_text(report))
-    print(f"\nreport written to {json_path}")
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"\ncache: {stats['hits']} hits, {stats['misses']} misses "
+            f"({cache.root})"
+        )
+    print(f"report written to {json_path}")
     return 0
 
 
@@ -305,6 +317,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="run the full evaluation and save the report")
     p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
     p.add_argument("--outdir", default="results")
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the batch engine (default: 1, in-process)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="result-cache directory (default: <outdir>/cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache entirely",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("instance", help="run strategies on a paper instance")

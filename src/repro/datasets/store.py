@@ -1,4 +1,4 @@
-"""Persist and reload tree collections (the dataset exchange format).
+"""Persist and reload tree collections, plus the experiment result cache.
 
 The paper-scale datasets take minutes to build (symbolic analysis of
 many matrices); this module caches them as JSON-lines — one tree per
@@ -12,10 +12,19 @@ Format (one per line)::
 
 ``load_trees`` streams; a truncated or hand-edited file fails loudly
 with the offending line number.
+
+The second half of the module is :class:`ResultCache`, the
+content-addressed on-disk store underneath the batch experiment engine
+(:mod:`repro.experiments.batch`): every completed work unit (a shard of
+figure instances, or one counterexample) is keyed by a SHA-256 digest of
+its *inputs* — tree structure, memory bound, algorithm list, scale — so
+re-running ``repro-ioschedule report`` only recomputes units whose
+inputs changed.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
@@ -23,7 +32,14 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from ..core.tree import TaskTree
 
-__all__ = ["StoredTree", "save_trees", "load_trees", "iter_trees"]
+__all__ = [
+    "StoredTree",
+    "save_trees",
+    "load_trees",
+    "iter_trees",
+    "ResultCache",
+    "cache_key",
+]
 
 
 @dataclass(frozen=True)
@@ -90,3 +106,80 @@ def iter_trees(path: str | pathlib.Path) -> Iterator[StoredTree]:
 def load_trees(path: str | pathlib.Path) -> list[StoredTree]:
     """The whole collection as a list (see :func:`iter_trees` to stream)."""
     return list(iter_trees(path))
+
+
+def cache_key(payload: Mapping[str, Any]) -> str:
+    """Content-address a work unit: SHA-256 of its canonical JSON.
+
+    Parameters
+    ----------
+    payload:
+        A JSON-serialisable description of everything that determines the
+        unit's *output* — tree parents/weights, memory bound, algorithm
+        names, scale, engine version.  Keys are sorted and separators
+        fixed so logically equal payloads hash identically regardless of
+        insertion order.
+
+    Returns
+    -------
+    str
+        A 64-character lowercase hex digest, usable as a filename.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed on-disk cache of completed experiment work units.
+
+    Each entry is one JSON file ``<root>/<k[:2]>/<k>.json`` (two-level
+    fanout keeps directories small at paper scale), where ``k`` is the
+    :func:`cache_key` of the unit's inputs.  Values are plain dictionaries;
+    the cache never interprets them.  Corrupt or truncated entries are
+    treated as misses and recomputed, never trusted.
+
+    The instance counts hits and misses (a ``get`` that finds nothing);
+    :meth:`stats` is what the batch engine surfaces into the report JSON.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the cache; created lazily on first ``put``.
+    """
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the cached value for ``key``, or ``None`` (a miss)."""
+        path = self._path(key)
+        try:
+            value = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Mapping[str, Any]) -> None:
+        """Store ``value`` under ``key`` (atomically: write + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dict(value), sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters since construction, for report provenance."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -27,7 +27,11 @@ from .registry import get_algorithm
 
 __all__ = [
     "FigureResult",
+    "FigureSpec",
+    "FIGURE_SPECS",
+    "build_dataset",
     "run_comparison",
+    "run_spec",
     "figure4",
     "figure5",
     "figure8",
@@ -153,46 +157,98 @@ def _synth_algorithms(include_full: bool) -> tuple[str, ...]:
 _TREES_ALGORITHMS = ("OptMinMem", "RecExpand", "PostOrderMinIO")
 
 
-def figure4(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
-    """Figure 4: SYNTH dataset at the mid memory bound (all four heuristics)."""
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declarative description of one evaluation figure.
+
+    The spec is everything the batch engine needs to regenerate a figure
+    without calling back into figure-specific code: which dataset to
+    build, which memory bound to pick from the per-tree grid, and which
+    registered strategies to compare.  ``FIGURE_SPECS`` holds one spec
+    per paper figure; :func:`run_spec` turns a spec into the same
+    :class:`FigureResult` the ``figureN`` helpers produce.
+    """
+
+    fig_id: str
+    name: str
+    dataset: str  # "synth" | "trees"
+    bound: str  # "M1" | "Mmid" | "M2"
+    algorithms: tuple[str, ...]
+
+
+#: figure id → declarative spec (the batch engine's source of truth)
+FIGURE_SPECS: dict[str, FigureSpec] = {
+    spec.fig_id: spec
+    for spec in (
+        FigureSpec("fig4", "figure4-synth-Mmid", "synth", "Mmid", _synth_algorithms(True)),
+        FigureSpec("fig5", "figure5-trees-Mmid", "trees", "Mmid", _TREES_ALGORITHMS),
+        FigureSpec("fig8", "figure8-synth-M1", "synth", "M1", _synth_algorithms(True)),
+        FigureSpec("fig9", "figure9-trees-M1", "trees", "M1", _TREES_ALGORITHMS),
+        FigureSpec("fig10", "figure10-synth-M2", "synth", "M2", _synth_algorithms(True)),
+        FigureSpec("fig11", "figure11-trees-M2", "trees", "M2", _TREES_ALGORITHMS),
+    )
+}
+
+
+def build_dataset(dataset: str, scale: Scale | str) -> list[TaskTree]:
+    """Materialise the named dataset (``"synth"`` or ``"trees"``) at ``scale``."""
+    if dataset == "synth":
+        return build_synth(scale)
+    if dataset == "trees":
+        return build_trees(scale)
+    raise KeyError(f"unknown dataset {dataset!r}; available: 'synth', 'trees'")
+
+
+def run_spec(
+    spec: FigureSpec,
+    scale: Scale | str | None = None,
+    *,
+    algorithms: Sequence[str] | None = None,
+) -> FigureResult:
+    """Regenerate the figure described by ``spec`` (serially)."""
     scale = current_scale() if scale is None else scale
     return run_comparison(
-        "figure4-synth-Mmid", build_synth(scale), "Mmid", _synth_algorithms(include_full)
+        spec.name,
+        build_dataset(spec.dataset, scale),
+        spec.bound,
+        tuple(algorithms) if algorithms is not None else spec.algorithms,
+    )
+
+
+def figure4(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
+    """Figure 4: SYNTH dataset at the mid memory bound (all four heuristics)."""
+    return run_spec(
+        FIGURE_SPECS["fig4"], scale, algorithms=_synth_algorithms(include_full)
     )
 
 
 def figure5(scale: Scale | str | None = None) -> FigureResult:
     """Figure 5: TREES dataset at the mid memory bound (three heuristics)."""
-    scale = current_scale() if scale is None else scale
-    return run_comparison("figure5-trees-Mmid", build_trees(scale), "Mmid", _TREES_ALGORITHMS)
+    return run_spec(FIGURE_SPECS["fig5"], scale)
 
 
 def figure8(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
     """Figure 8: SYNTH at the minimal feasible memory ``M1 = LB``."""
-    scale = current_scale() if scale is None else scale
-    return run_comparison(
-        "figure8-synth-M1", build_synth(scale), "M1", _synth_algorithms(include_full)
+    return run_spec(
+        FIGURE_SPECS["fig8"], scale, algorithms=_synth_algorithms(include_full)
     )
 
 
 def figure9(scale: Scale | str | None = None) -> FigureResult:
     """Figure 9: TREES at ``M1 = LB``."""
-    scale = current_scale() if scale is None else scale
-    return run_comparison("figure9-trees-M1", build_trees(scale), "M1", _TREES_ALGORITHMS)
+    return run_spec(FIGURE_SPECS["fig9"], scale)
 
 
 def figure10(scale: Scale | str | None = None, *, include_full: bool = True) -> FigureResult:
     """Figure 10: SYNTH at ``M2 = Peak_incore - 1``."""
-    scale = current_scale() if scale is None else scale
-    return run_comparison(
-        "figure10-synth-M2", build_synth(scale), "M2", _synth_algorithms(include_full)
+    return run_spec(
+        FIGURE_SPECS["fig10"], scale, algorithms=_synth_algorithms(include_full)
     )
 
 
 def figure11(scale: Scale | str | None = None) -> FigureResult:
     """Figure 11: TREES at ``M2 = Peak_incore - 1``."""
-    scale = current_scale() if scale is None else scale
-    return run_comparison("figure11-trees-M2", build_trees(scale), "M2", _TREES_ALGORITHMS)
+    return run_spec(FIGURE_SPECS["fig11"], scale)
 
 
 #: figure id → builder, for the CLI and the benchmark harness

@@ -16,7 +16,13 @@ from ..core.simulator import fif_traversal
 from ..core.traversal import Traversal
 from ..core.tree import TaskTree
 
-__all__ = ["ALGORITHMS", "ORACLES", "PAPER_ALGORITHMS", "get_algorithm"]
+__all__ = [
+    "ALGORITHMS",
+    "ORACLES",
+    "PAPER_ALGORITHMS",
+    "get_algorithm",
+    "register_algorithm",
+]
 
 Strategy = Callable[[TaskTree, int], Traversal]
 
@@ -87,7 +93,34 @@ ORACLES: dict[str, Strategy] = {
 PAPER_ALGORITHMS = ("OptMinMem", "PostOrderMinIO", "RecExpand", "FullRecExpand")
 
 
+def register_algorithm(name: str, strategy: Strategy, *, oracle: bool = False) -> None:
+    """Register an extra strategy under ``name``.
+
+    The batch engine ships algorithm *names* (not callables) to worker
+    processes and resolves them through this registry, so a strategy
+    must be registered at import time of its defining module — i.e. at
+    module top level, never inside ``if __name__ == "__main__"`` — to be
+    visible in every worker.
+
+    Parameters
+    ----------
+    name:
+        Registry key; must not collide with an existing strategy.
+    strategy:
+        A ``f(tree, memory) -> Traversal`` callable (picklable by
+        reference, i.e. a module-level function).
+    oracle:
+        Register under :data:`ORACLES` (exponential-time references,
+        excluded from the default figure comparisons) instead of
+        :data:`ALGORITHMS`.
+    """
+    if name in ALGORITHMS or name in ORACLES:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    (ORACLES if oracle else ALGORITHMS)[name] = strategy
+
+
 def get_algorithm(name: str) -> Strategy:
+    """Resolve a registered strategy by name (heuristics, then oracles)."""
     try:
         return ALGORITHMS[name]
     except KeyError:

@@ -39,13 +39,22 @@ REPORT_THRESHOLDS = (0.0, 0.02, 0.05, 0.10, 0.25, 0.50, 1.00, 2.00)
 
 @dataclass
 class ExperimentReport:
-    """A JSON-serialisable record of one full evaluation run."""
+    """A JSON-serialisable record of one full evaluation run.
+
+    ``batch`` is the execution-provenance block filled in by the batch
+    engine (:mod:`repro.experiments.batch`): shard size, unit counts and
+    cache hit/miss counters.  It is ``None`` for plain serial runs and
+    deliberately excludes the worker count, so reports from ``--jobs 1``
+    and ``--jobs N`` runs of the same inputs differ only in timing
+    fields.
+    """
 
     scale: str
     started_at: float
     figures: dict[str, Any] = field(default_factory=dict)
     counterexamples: dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    batch: dict[str, Any] | None = None
 
     def to_json(self, **dump_kwargs: Any) -> str:
         dump_kwargs.setdefault("indent", 2)
@@ -149,8 +158,20 @@ def run_all(
     scale: str = "small",
     *,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    cache: "Any | None" = None,
 ) -> ExperimentReport:
-    """The whole evaluation: all figures plus all counterexamples."""
+    """The whole evaluation: all figures plus all counterexamples.
+
+    With ``jobs > 1`` or a :class:`~repro.datasets.store.ResultCache`
+    instance as ``cache``, the run is delegated to the sharded batch
+    engine (:func:`repro.experiments.batch.run_batch_report`), which
+    produces the same summaries plus the ``batch`` provenance block.
+    """
+    if jobs > 1 or cache is not None:
+        from .batch import run_batch_report
+
+        return run_batch_report(scale, jobs=jobs, cache=cache, progress=progress)
     report = ExperimentReport(scale=scale, started_at=time.time())
     t0 = time.perf_counter()
     report.counterexamples = run_counterexamples()

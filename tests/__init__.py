@@ -1,0 +1,7 @@
+"""Test suite package marker.
+
+Several test modules import shared hypothesis strategies with
+``from .conftest import ...``; that relative import only resolves when
+``tests`` is a proper package, which this file makes it.  Run the suite
+from the repository root with ``PYTHONPATH=src python -m pytest -x -q``.
+"""

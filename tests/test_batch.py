@@ -1,0 +1,164 @@
+"""Tests for the parallel batch experiment engine (repro.experiments.batch)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.datasets.store import ResultCache, cache_key
+from repro.experiments.batch import (
+    BatchStats,
+    counterexample_units,
+    merge_shards,
+    run_batch_counterexamples,
+    run_batch_figures,
+    run_batch_report,
+    run_shard,
+    shard_figure,
+)
+from repro.experiments.figures import FIGURE_SPECS, figure10
+from repro.experiments.runner import run_all, run_counterexamples, run_figures
+
+
+def _strip_timing(report_dict):
+    d = json.loads(json.dumps(report_dict))
+    d.pop("started_at", None)
+    d.pop("elapsed_seconds", None)
+    d.pop("batch", None)
+    for f in d.get("figures", {}).values():
+        f.pop("seconds", None)
+        if f.get("differing"):
+            f["differing"].pop("seconds", None)
+    return d
+
+
+class TestSharding:
+    def test_shards_cover_dataset_in_order(self):
+        shards = shard_figure("fig10", "tiny", shard_size=3)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        assert all(len(s.trees) <= 3 for s in shards)
+        assert all(len(s.trees) == 3 for s in shards[:-1])
+
+    def test_shard_boundaries_independent_of_jobs(self):
+        # Shards are a function of the data alone; two computations agree.
+        a = shard_figure("fig10", "tiny")
+        b = shard_figure("fig10", "tiny")
+        assert [s.key() for s in a] == [s.key() for s in b]
+
+    def test_shard_keys_distinct_across_figures_and_shards(self):
+        keys = [
+            s.key()
+            for fid in ("fig8", "fig10")
+            for s in shard_figure(fid, "tiny", shard_size=2)
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_shard_seed_is_deterministic(self):
+        (first_a,) = shard_figure("fig10", "tiny", shard_size=10**6)[:1]
+        (first_b,) = shard_figure("fig10", "tiny", shard_size=10**6)[:1]
+        assert first_a.seed == first_b.seed
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            shard_figure("fig10", "tiny", shard_size=0)
+
+
+class TestMerge:
+    def test_merge_matches_serial_run_comparison(self):
+        serial = figure10("tiny")
+        shards = shard_figure("fig10", "tiny", shard_size=3)
+        merged = merge_shards("fig10", shards, [run_shard(s) for s in shards])
+        assert merged.io_volumes == serial.io_volumes
+        assert merged.memories == serial.memories
+        assert merged.instance_sizes == serial.instance_sizes
+
+    def test_merge_is_order_insensitive(self):
+        shards = shard_figure("fig10", "tiny", shard_size=2)
+        payloads = [run_shard(s) for s in shards]
+        rev = merge_shards("fig10", list(reversed(shards)), list(reversed(payloads)))
+        fwd = merge_shards("fig10", shards, payloads)
+        assert rev.io_volumes == fwd.io_volumes
+
+    def test_merge_length_mismatch_rejected(self):
+        shards = shard_figure("fig10", "tiny", shard_size=4)
+        with pytest.raises(ValueError):
+            merge_shards("fig10", shards, [])
+
+
+class TestEquivalence:
+    def test_batch_figures_match_serial(self):
+        serial = run_figures("tiny", figure_ids=["fig10"])
+        batched = run_batch_figures("tiny", figure_ids=["fig10"])
+        assert _strip_timing({"figures": serial}) == _strip_timing(
+            {"figures": batched}
+        )
+
+    def test_batch_counterexamples_match_serial(self):
+        assert run_batch_counterexamples() == run_counterexamples()
+
+    def test_run_all_delegates_to_batch_when_parallel(self):
+        report = run_all("tiny", jobs=2)
+        assert report.batch is not None
+        assert report.batch["units_computed"] == report.batch["units_total"]
+
+    def test_parallel_report_matches_serial_report(self):
+        serial = dataclasses.asdict(run_batch_report("tiny", jobs=1))
+        par = dataclasses.asdict(run_batch_report("tiny", jobs=2))
+        assert _strip_timing(serial) == _strip_timing(par)
+
+
+class TestCache:
+    def test_cold_then_warm(self, tmp_path):
+        cold = run_batch_report("tiny", cache=ResultCache(tmp_path))
+        assert cold.batch["cache"] == {
+            "enabled": True,
+            "hits": 0,
+            "misses": cold.batch["units_total"],
+        }
+        warm = run_batch_report("tiny", cache=ResultCache(tmp_path))
+        assert warm.batch["cache"]["hits"] == warm.batch["units_total"]
+        assert warm.batch["units_computed"] == 0
+        assert _strip_timing(dataclasses.asdict(cold)) == _strip_timing(
+            dataclasses.asdict(warm)
+        )
+
+    def test_corrupt_entry_is_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch_counterexamples(cache=cache, fig2c_ks=(1,), fig2a_extensions=())
+        victim = next(tmp_path.glob("*/*.json"))
+        victim.write_text("{ truncated")
+        cache2 = ResultCache(tmp_path)
+        out = run_batch_counterexamples(
+            cache=cache2, fig2c_ks=(1,), fig2a_extensions=()
+        )
+        assert cache2.misses == 1
+        assert out == run_counterexamples(fig2c_ks=(1,), fig2a_extensions=())
+
+    def test_cache_key_is_canonical(self):
+        assert cache_key({"a": 1, "b": 2}) == cache_key({"b": 2, "a": 1})
+        assert cache_key({"a": 1}) != cache_key({"a": 2})
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert len(cache) == 0
+        cache.put(cache_key({"x": 1}), {"v": 1})
+        assert len(cache) == 1
+
+
+class TestUnits:
+    def test_counterexample_units_cover_runner_instances(self):
+        names = {u.name for u in counterexample_units()}
+        assert names == set(run_counterexamples())
+
+    def test_stats_serialise(self):
+        stats = BatchStats(units_total=3, units_computed=2, cache_enabled=True)
+        d = stats.to_dict()
+        assert d["units_total"] == 3
+        assert d["cache"]["enabled"] is True
+
+    def test_specs_cover_all_figures(self):
+        from repro.experiments.figures import FIGURES
+
+        assert set(FIGURE_SPECS) == set(FIGURES)
