@@ -1,0 +1,149 @@
+"""Service layer: request throughput and latency, cold cache vs warm.
+
+What must hold:
+
+* under 16 concurrent clients the service drops **zero** well-formed
+  requests (no ``queue_full`` rejections at the default queue limit);
+* served results match the offline solver exactly (spot-checked per
+  request set);
+* a warm-cache repeat of the same request set achieves measurably
+  higher throughput than the cold run — the whole point of
+  content-addressed dedup is that repeated traffic never reaches a
+  worker.
+
+Levels: 1, 4 and 16 concurrent clients, each with its own disjoint
+request set (so every level starts cold), then the same set replayed
+warm.  ``REPRO_JOBS`` sets the worker-process count (default 2).
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+from repro.analysis.bounds import memory_bounds
+from repro.datasets.store import ResultCache
+from repro.datasets.synth import synth_instance
+from repro.experiments.registry import get_algorithm
+from repro.core.tree import TaskTree
+from repro.service import ServerConfig, ServerThread, ServiceClient
+
+CLIENT_LEVELS = (1, 4, 16)
+REQUESTS_PER_LEVEL = 48
+TREE_NODES = 240
+
+
+def _request_set(level: int) -> list[dict]:
+    """A disjoint, deterministic set of solve requests for one level."""
+    requests: list[dict] = []
+    seed = 10_000 * level
+    while len(requests) < REQUESTS_PER_LEVEL:
+        tree = synth_instance(TREE_NODES, seed=seed)
+        seed += 1
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            continue
+        requests.append(
+            {
+                "kind": "solve",
+                "tree": tree.to_dict(),
+                "memory": bounds.mid,
+                "algorithm": "RecExpand",
+            }
+        )
+    return requests
+
+
+def _drive(port: int, clients: int, requests: list[dict]):
+    """Fan the request set over ``clients`` threads; collect latencies."""
+    chunks = [requests[i::clients] for i in range(clients)]
+    latencies: list[float] = []
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def worker(chunk: list[dict]) -> None:
+        client = ServiceClient(port=port, timeout=120.0)
+        for request in chunk:
+            t0 = time.perf_counter()
+            try:
+                client.submit(request)
+            except Exception as exc:  # dropped request — the assertion catches it
+                with lock:
+                    errors.append(exc)
+                continue
+            with lock:
+                latencies.append(time.perf_counter() - t0)
+
+    threads = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return elapsed, latencies, errors
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_service_throughput_and_latency(tmp_path, batch_jobs, emit):
+    cache = ResultCache(tmp_path / "cache")
+    config = ServerConfig(port=0, workers=batch_jobs, queue_limit=64)
+    lines = [
+        f"workers={batch_jobs} requests/level={REQUESTS_PER_LEVEL} "
+        f"tree_nodes={TREE_NODES}",
+        f"{'clients':>7} {'phase':>5} {'elapsed':>9} {'req/s':>8} "
+        f"{'p50 ms':>8} {'p99 ms':>8}",
+    ]
+    with ServerThread(config, cache=cache) as server:
+        server.server.pool.warm_up()
+        client = ServiceClient(port=server.port)
+        assert client.wait_ready(30)
+
+        gains = {}
+        for clients in CLIENT_LEVELS:
+            requests = _request_set(clients)
+            results = {}
+            for phase in ("cold", "warm"):
+                elapsed, latencies, errors = _drive(server.port, clients, requests)
+                assert not errors, (
+                    f"{clients} clients ({phase}): dropped "
+                    f"{len(errors)} well-formed requests: {errors[:3]}"
+                )
+                assert len(latencies) == len(requests)
+                results[phase] = (elapsed, latencies)
+                lines.append(
+                    f"{clients:>7} {phase:>5} {elapsed:>8.2f}s "
+                    f"{len(requests) / elapsed:>8.1f} "
+                    f"{_percentile(latencies, 0.50) * 1e3:>8.1f} "
+                    f"{_percentile(latencies, 0.99) * 1e3:>8.1f}"
+                )
+            gains[clients] = results["cold"][0] / results["warm"][0]
+            lines.append(f"{'':>7} warm/cold throughput gain: {gains[clients]:.2f}x")
+
+            # served == offline, spot check one request of the set
+            probe = requests[0]
+            served = client.submit(probe)["result"]
+            offline = get_algorithm(probe["algorithm"])(
+                TaskTree(probe["tree"]["parents"], probe["tree"]["weights"]),
+                probe["memory"],
+            )
+            assert served["io_volume"] == offline.io_volume
+            assert served["schedule"] == list(offline.schedule)
+
+        metrics = client.metrics()
+        assert metrics["requests"]["rejected"] == 0
+        lines.append(
+            f"totals: computed={metrics['requests']['computed']} "
+            f"cache_hits={metrics['cache']['hits']} rejected=0"
+        )
+
+    # the headline claim: repeated traffic is measurably faster from cache
+    assert gains[max(CLIENT_LEVELS)] > 1.1, (
+        f"warm-cache replay should beat cold compute, got {gains}"
+    )
+    emit("service_throughput", "\n".join(lines))

@@ -31,6 +31,11 @@ Package map
                       ``experiments.batch`` shards the evaluation across
                       worker processes with content-addressed result
                       caching (see ``repro-ioschedule report --jobs``)
+``repro.service``     asyncio JSON-over-HTTP scheduling service with
+                      request micro-batching, a persistent worker pool
+                      and cache-backed dedup (``repro-ioschedule serve``
+                      / ``submit``); imported lazily — not re-exported
+                      here
 """
 
 from .algorithms.brute_force import min_io_brute, min_peak_brute

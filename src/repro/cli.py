@@ -15,6 +15,12 @@ Examples
     repro-ioschedule draw --tree tree.json --out tree.svg
     repro-ioschedule report --scale tiny --outdir results
     repro-ioschedule report --scale small --jobs 4 --cache-dir results/cache
+    repro-ioschedule serve --port 8177 --workers 4
+    repro-ioschedule submit --tree tree.json --memory 64 --algorithm RecExpand
+
+Exit codes: 0 on success, 2 on bad arguments or invalid input (including
+requests the service rejects as malformed), 1 on transport or internal
+failures when talking to a server.
 """
 
 from __future__ import annotations
@@ -22,19 +28,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
+from . import __version__
 from .analysis.bounds import memory_bounds
 from .analysis.profiles import render_ascii, to_csv
 from .core.traversal import validate
-from .core.tree import TaskTree
+from .core.tree import TaskTree, TreeError
 from .datasets import instances as paper_instances
 from .experiments.figures import FIGURES
-from .experiments.registry import ALGORITHMS, ORACLES, get_algorithm
+from .experiments.registry import ALGORITHMS, get_algorithm, strategy_names
 
 __all__ = ["main"]
 
-_ALL_STRATEGIES = sorted(ALGORITHMS) + sorted(ORACLES)
+#: service rejections that mean "your request was wrong" (exit 2), as
+#: opposed to transport/overload/internal trouble (exit 1).
+_CLIENT_FAULT_STATUSES = frozenset({400, 404, 405, 413, 422})
 
 
 def _load_tree(path: str) -> TaskTree:
@@ -55,18 +64,41 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_solve(
+    algorithm: str,
+    memory: int,
+    io_volume: int,
+    performance: float,
+    schedule: Sequence[int],
+    io: Mapping[int, int],
+    *,
+    show_schedule: bool,
+) -> None:
+    """Shared by ``solve`` (offline) and ``submit`` (served) so the two
+    render byte-identical output for the same request."""
+    print(f"algorithm   : {algorithm}")
+    print(f"memory      : {memory}")
+    print(f"io volume   : {io_volume}")
+    print(f"performance : {performance:.4f}")
+    if show_schedule:
+        print("schedule    :", " ".join(map(str, schedule)))
+        nonzero = {v: a for v, a in io.items() if a}
+        print("io function :", nonzero if nonzero else "(no I/O)")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
     traversal = get_algorithm(args.algorithm)(tree, args.memory)
     validate(tree, traversal, args.memory)
-    print(f"algorithm   : {args.algorithm}")
-    print(f"memory      : {args.memory}")
-    print(f"io volume   : {traversal.io_volume}")
-    print(f"performance : {traversal.performance(args.memory):.4f}")
-    if args.show_schedule:
-        print("schedule    :", " ".join(map(str, traversal.schedule)))
-        nonzero = {v: a for v, a in enumerate(traversal.io) if a}
-        print("io function :", nonzero if nonzero else "(no I/O)")
+    _print_solve(
+        args.algorithm,
+        args.memory,
+        traversal.io_volume,
+        traversal.performance(args.memory),
+        traversal.schedule,
+        {v: a for v, a in enumerate(traversal.io) if a},
+        show_schedule=args.show_schedule,
+    )
     return 0
 
 
@@ -236,6 +268,102 @@ def _cmd_instance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServerConfig, ServiceServer
+
+    cache_dir = None if args.no_cache else (args.cache_dir or "results/service-cache")
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        request_timeout=args.timeout,
+        cache_dir=cache_dir,
+    )
+    server = ServiceServer(config)
+    server.pool.warm_up()
+    print(
+        f"serving on http://{config.host}:{config.port} "
+        f"(workers={config.workers or f'inline:{config.inline_threads}'}, "
+        f"queue={config.queue_limit}, window={config.batch_window_ms}ms, "
+        f"cache={cache_dir or 'off'})",
+        flush=True,
+    )
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _build_submit_request(args: argparse.Namespace) -> dict[str, Any]:
+    with open(args.tree) as fh:
+        tree = json.load(fh)
+    request: dict[str, Any] = {
+        "kind": args.kind,
+        "tree": {"parents": tree["parents"], "weights": tree["weights"]},
+        "memory": args.memory,
+    }
+    if args.timeout:
+        request["timeout"] = args.timeout
+    if args.kind in ("solve", "paging"):
+        request["algorithm"] = args.algorithm
+    if args.kind == "paging":
+        request["page_size"] = args.page_size
+        request["seed"] = args.seed
+        if args.policy:
+            request["policies"] = list(args.policy)
+    if args.kind == "exact":
+        request["max_states"] = args.max_states
+        request["node_limit"] = args.node_limit
+    return request
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        envelope = client.submit(_build_submit_request(args))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2 if exc.status in _CLIENT_FAULT_STATUSES else 1
+    if args.json:
+        print(json.dumps(envelope, indent=2, sort_keys=True))
+        return 0
+    result = envelope["result"]
+    if args.kind == "solve":
+        _print_solve(
+            result["algorithm"],
+            result["memory"],
+            result["io_volume"],
+            result["performance"],
+            result["schedule"],
+            {int(v): a for v, a in result["io"].items()},
+            show_schedule=args.show_schedule,
+        )
+    elif args.kind == "paging":
+        print(
+            f"schedule from {result['algorithm']}; memory {result['memory']}, "
+            f"page size {result['page_size']}"
+        )
+        print(f"{'policy':<10} {'writes':>8} {'reads':>8} {'units':>8} {'est. time':>10}")
+        for row in result["policies"]:
+            print(
+                f"{row['policy']:<10} {row['write_pages']:>8} {row['read_pages']:>8} "
+                f"{row['write_units']:>8} {row['est_seconds']:>9.3f}s"
+            )
+    else:  # exact
+        print(f"exact optimum : {result['certificate']}")
+        for name, row in result["gaps"].items():
+            print(f"  {name:<16} io = {row['io_volume']:6d}   gap = {row['gap']:7.2%}")
+    if envelope.get("cached"):
+        print("(served from result cache)", file=sys.stderr)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets.synth import synth_instance
 
@@ -259,7 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-ioschedule",
         description="Out-of-core task-tree scheduling (Marchal et al., 2017 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+    # Resolved at parser-build time (not import time) so strategies
+    # registered after import are accepted everywhere the CLI takes
+    # an --algorithm, matching the service's lazy protocol validation.
+    _ALL_STRATEGIES = strategy_names()
 
     p = sub.add_parser("info", help="print model quantities of a tree JSON file")
     p.add_argument("--tree", required=True)
@@ -341,14 +476,80 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", action="append")
     p.set_defaults(func=_cmd_instance)
 
+    p = sub.add_parser("serve", help="run the scheduling service (JSON over HTTP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177, help="0 picks an ephemeral port")
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (0 = in-process threads; default: 2)",
+    )
+    p.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission-queue capacity before 429 rejections (default: 64)",
+    )
+    p.add_argument(
+        "--batch-window-ms", type=float, default=5.0,
+        help="micro-batching window in milliseconds (default: 5)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=16,
+        help="maximum requests per micro-batch (default: 16)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="default per-request deadline in seconds (default: 60)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="result-cache directory (default: results/service-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache (in-flight dedup stays on)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one request to a running service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177)
+    p.add_argument("--kind", default="solve", choices=("solve", "paging", "exact"))
+    p.add_argument("--tree", required=True)
+    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
+    p.add_argument("--show-schedule", action="store_true")
+    p.add_argument("--page-size", type=int, default=1)
+    p.add_argument("--policy", action="append", help="paging only; repeatable")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-states", type=int, default=2_000_000)
+    p.add_argument("--node-limit", type=int, default=24)
+    p.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="per-request deadline in seconds (0 = server default)",
+    )
+    p.add_argument("--json", action="store_true", help="print the raw JSON envelope")
+    p.set_defaults(func=_cmd_submit)
+
     p = sub.add_parser("demo", help="quick end-to-end demonstration")
     p.set_defaults(func=_cmd_demo)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse and dispatch; exit codes are part of the CLI contract.
+
+    0 success · 2 bad arguments or invalid input (file missing, bad tree
+    JSON, schema violation — whether caught locally or rejected by a
+    server) · 1 transport/overload/internal failure talking to a server.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except TreeError as exc:
+        print(f"error: invalid tree: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

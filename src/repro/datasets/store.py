@@ -24,8 +24,11 @@ inputs changed.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
+import itertools
 import json
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
@@ -166,13 +169,34 @@ class ResultCache:
         self.hits += 1
         return value
 
+    #: distinguishes temp files written by different threads of one process;
+    #: the pid in the name distinguishes processes.
+    _tmp_counter = itertools.count()
+
     def put(self, key: str, value: Mapping[str, Any]) -> None:
-        """Store ``value`` under ``key`` (atomically: write + rename)."""
+        """Store ``value`` under ``key`` (atomically: write + rename).
+
+        The temp name is unique per writer (pid + in-process counter):
+        with a shared suffix like ``.tmp``, two processes writing the
+        same key race — one renames the file away and the other's rename
+        fails, or worse, renames a half-written file into place.  Unique
+        temp names make concurrent writers of the same key commute
+        (last rename wins, every rename is of a fully written file).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(dict(value), sort_keys=True), encoding="utf-8")
-        tmp.replace(path)
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
+        try:
+            tmp.write_text(
+                json.dumps(dict(value), sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                tmp.unlink(missing_ok=True)
+            raise
 
     def stats(self) -> dict[str, int]:
         """Hit/miss counters since construction, for report provenance."""

@@ -55,6 +55,8 @@ __all__ = [
     "FigureShard",
     "CounterexampleUnit",
     "DEFAULT_SHARD_SIZE",
+    "ENGINE_VERSION",
+    "unit_seed",
     "shard_figure",
     "counterexample_units",
     "run_shard",
@@ -71,8 +73,12 @@ __all__ = [
 DEFAULT_SHARD_SIZE = 8
 
 #: bump when the result payload format changes; part of every cache key
+#: (batch work units *and* service requests — see :mod:`repro.service`)
 #: so stale entries from older engine versions can never be returned.
-_ENGINE_VERSION = 1
+ENGINE_VERSION = 1
+
+# Backwards-compatible alias; new code should use the public name.
+_ENGINE_VERSION = ENGINE_VERSION
 
 
 @dataclass
@@ -170,9 +176,17 @@ class CounterexampleUnit:
         )
 
 
-def _shard_seed(key: str) -> int:
-    """A deterministic 32-bit seed derived from a unit's content address."""
+def unit_seed(key: str) -> int:
+    """A deterministic 32-bit seed derived from a unit's content address.
+
+    Shared by the batch engine's shards and the service's request
+    execution so any strategy drawing global randomness behaves
+    identically whether a unit runs offline or behind the server.
+    """
     return int(key[:8], 16)
+
+
+_shard_seed = unit_seed  # historical name
 
 
 def shard_figure(

@@ -22,6 +22,7 @@ __all__ = [
     "PAPER_ALGORITHMS",
     "get_algorithm",
     "register_algorithm",
+    "strategy_names",
 ]
 
 Strategy = Callable[[TaskTree, int], Traversal]
@@ -119,6 +120,16 @@ def register_algorithm(name: str, strategy: Strategy, *, oracle: bool = False) -
     (ORACLES if oracle else ALGORITHMS)[name] = strategy
 
 
+def strategy_names() -> list[str]:
+    """Every currently registered strategy name (heuristics, then oracles).
+
+    Evaluated lazily so strategies registered after import (e.g. via
+    :func:`register_algorithm` in a deployment's site module) are visible
+    to the CLI and the service's protocol validation alike.
+    """
+    return sorted(ALGORITHMS) + sorted(ORACLES)
+
+
 def get_algorithm(name: str) -> Strategy:
     """Resolve a registered strategy by name (heuristics, then oracles)."""
     try:
@@ -129,6 +140,5 @@ def get_algorithm(name: str) -> Strategy:
         return ORACLES[name]
     except KeyError:
         raise KeyError(
-            f"unknown algorithm {name!r}; available: "
-            f"{sorted(ALGORITHMS) + sorted(ORACLES)}"
+            f"unknown algorithm {name!r}; available: {strategy_names()}"
         ) from None

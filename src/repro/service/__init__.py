@@ -1,0 +1,45 @@
+"""The scheduling service: solve/paging/exact queries over HTTP.
+
+This package puts a non-blocking network front-end on the same code
+paths the CLI runs offline, aimed at the ROADMAP's "serve heavy traffic"
+north star:
+
+``repro.service.protocol``
+    request/response schema, validation, stable error codes, and the
+    content addressing that makes identical requests collapse;
+``repro.service.pool``
+    the persistent worker pool executing validated micro-batches;
+``repro.service.server``
+    the asyncio JSON-over-HTTP server — micro-batching, bounded
+    admission queue (backpressure), in-flight + cache-backed dedup,
+    ``/metrics``;
+``repro.service.client``
+    a synchronous Python client (also behind ``repro-ioschedule submit``).
+
+Start a server with ``repro-ioschedule serve`` and query it with
+``repro-ioschedule submit`` or :class:`ServiceClient`.
+"""
+
+from .client import ServiceClient, ServiceError
+from .pool import WorkerPool
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_request,
+)
+from .server import ServerConfig, ServerThread, ServiceServer, running_server
+
+__all__ = [
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerConfig",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "WorkerPool",
+    "parse_request",
+    "running_server",
+]

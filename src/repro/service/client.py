@@ -1,0 +1,185 @@
+"""Synchronous Python client for the scheduling service.
+
+Thin by design: one :class:`http.client.HTTPConnection` per call (the
+server closes connections after each response), JSON in/out, and the
+protocol's stable error codes surfaced as :class:`ServiceError`.
+
+::
+
+    client = ServiceClient(port=8177)
+    client.wait_ready()
+    result = client.solve(tree, memory=6, algorithm="FullRecExpand")
+    print(result["io_volume"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Mapping, Sequence
+
+from ..core.tree import TaskTree
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error envelope from the service (or a transport-level failure).
+
+    Attributes
+    ----------
+    code:
+        the protocol's stable error code (``queue_full``, ``timeout``,
+        ``bad_field``, …) or ``transport`` for connection-level failures.
+    status:
+        the HTTP status, 0 when the request never reached the server.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 0):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.status = status
+        self.message = message
+
+
+def _tree_payload(tree: TaskTree | Mapping[str, Sequence[int]]) -> dict[str, Any]:
+    if isinstance(tree, TaskTree):
+        return tree.to_dict()
+    return {"parents": list(tree["parents"]), "weights": list(tree["weights"])}
+
+
+class ServiceClient:
+    """Talk to one ``repro-ioschedule serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177, *, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ---------------------------------------------------------------- #
+    # transport
+    # ---------------------------------------------------------------- #
+
+    def _request(self, method: str, path: str, body: bytes | None = None) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                status = response.status
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError("transport", f"{type(exc).__name__}: {exc}") from exc
+            try:
+                envelope = json.loads(raw)
+            except ValueError as exc:
+                raise ServiceError(
+                    "transport", f"non-JSON response (HTTP {status})", status
+                ) from exc
+            if isinstance(envelope, dict) and envelope.get("ok") is False:
+                error = envelope.get("error", {})
+                raise ServiceError(
+                    str(error.get("code", "internal")),
+                    str(error.get("message", "unknown error")),
+                    status,
+                )
+            return envelope
+        finally:
+            conn.close()
+
+    def _post(self, path: str, obj: Mapping[str, Any]) -> dict[str, Any]:
+        return self._request("POST", path, json.dumps(obj).encode("utf-8"))
+
+    # ---------------------------------------------------------------- #
+    # API
+    # ---------------------------------------------------------------- #
+
+    def submit(self, request: Mapping[str, Any]) -> dict[str, Any]:
+        """Submit a raw request dict; returns the full success envelope."""
+        return self._post("/v1/submit", request)
+
+    def solve(
+        self,
+        tree: TaskTree | Mapping[str, Sequence[int]],
+        memory: int,
+        *,
+        algorithm: str = "RecExpand",
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Schedule one tree; returns the ``result`` block (io_volume, …)."""
+        request: dict[str, Any] = {
+            "kind": "solve",
+            "tree": _tree_payload(tree),
+            "memory": memory,
+            "algorithm": algorithm,
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.submit(request)["result"]
+
+    def paging(
+        self,
+        tree: TaskTree | Mapping[str, Sequence[int]],
+        memory: int,
+        *,
+        algorithm: str = "RecExpand",
+        page_size: int = 1,
+        policies: Sequence[str] | None = None,
+        seed: int = 0,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Page-policy comparison; returns the ``result`` block."""
+        request: dict[str, Any] = {
+            "kind": "paging",
+            "tree": _tree_payload(tree),
+            "memory": memory,
+            "algorithm": algorithm,
+            "page_size": page_size,
+            "seed": seed,
+        }
+        if policies is not None:
+            request["policies"] = list(policies)
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.submit(request)["result"]
+
+    def exact(
+        self,
+        tree: TaskTree | Mapping[str, Sequence[int]],
+        memory: int,
+        *,
+        max_states: int = 2_000_000,
+        node_limit: int = 24,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Exact optimum + heuristic gaps; returns the ``result`` block."""
+        request: dict[str, Any] = {
+            "kind": "exact",
+            "tree": _tree_payload(tree),
+            "memory": memory,
+            "max_states": max_states,
+            "node_limit": node_limit,
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.submit(request)["result"]
+
+    def metrics(self) -> dict[str, Any]:
+        """Scrape ``/metrics`` (queue depth, cache counters, latency pcts)."""
+        return self._request("GET", "/metrics")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, deadline: float = 15.0, poll: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the service answers (or the deadline passes)."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            try:
+                if self.health().get("ok"):
+                    return True
+            except ServiceError:
+                time.sleep(poll)
+        return False

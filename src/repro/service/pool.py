@@ -1,0 +1,233 @@
+"""The service's worker pool: where request batches actually execute.
+
+The server never computes anything on its event loop.  Micro-batches of
+validated requests are handed to a :class:`WorkerPool`, which runs them
+either
+
+* on a **persistent** :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs >= 1``, the production path — workers are stateless and
+  resolve strategies *by name* through the registry, exactly like the
+  batch engine's shard workers), or
+* on a small in-process thread pool (``jobs = 0``), which keeps
+  everything in one interpreter — the mode tests use to exercise
+  backpressure deterministically and to see strategies registered at
+  test time.
+
+One executor call carries one whole micro-batch (a single pickle
+round-trip instead of one per request); each request inside the batch is
+individually guarded, so one failing request yields one error envelope
+without poisoning its batch-mates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Mapping
+
+from ..algorithms.exact import exact_min_io
+from ..core.traversal import InvalidTraversal, validate
+from ..core.simulator import InfeasibleSchedule
+from ..core.tree import TaskTree
+from ..experiments.batch import unit_seed
+from ..experiments.registry import PAPER_ALGORITHMS, get_algorithm
+from .protocol import (
+    ExactRequest,
+    PagingRequest,
+    Request,
+    SolveRequest,
+    error_envelope,
+    ok_envelope,
+    parse_request,
+)
+
+__all__ = [
+    "WorkerPool",
+    "execute_payload",
+    "execute_many",
+    "run_solve",
+    "run_paging",
+    "run_exact",
+]
+
+
+def run_solve(request: SolveRequest) -> dict[str, Any]:
+    """Execute a ``solve`` request; mirrors ``repro-ioschedule solve``."""
+    tree = TaskTree(request.parents, request.weights)
+    traversal = get_algorithm(request.algorithm)(tree, request.memory)
+    validate(tree, traversal, request.memory)
+    return {
+        "kind": "solve",
+        "algorithm": request.algorithm,
+        "memory": request.memory,
+        "io_volume": traversal.io_volume,
+        "performance": traversal.performance(request.memory),
+        "schedule": list(traversal.schedule),
+        "io": {str(v): a for v, a in enumerate(traversal.io) if a},
+    }
+
+
+def run_paging(request: PagingRequest) -> dict[str, Any]:
+    """Execute a ``paging`` request; mirrors ``repro-ioschedule paging``."""
+    from ..io import HDD, estimate_time, paged_io
+
+    tree = TaskTree(request.parents, request.weights)
+    schedule = get_algorithm(request.algorithm)(tree, request.memory).schedule
+    rows = []
+    for policy in request.policies:
+        res = paged_io(
+            tree,
+            schedule,
+            request.memory,
+            page_size=request.page_size,
+            policy=policy,
+            seed=request.seed,
+            trace=True,
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "write_pages": res.write_pages,
+                "read_pages": res.read_pages,
+                "write_units": res.write_units,
+                "est_seconds": estimate_time(res.events, HDD).seconds,
+            }
+        )
+    return {
+        "kind": "paging",
+        "algorithm": request.algorithm,
+        "memory": request.memory,
+        "page_size": request.page_size,
+        "policies": rows,
+    }
+
+
+def run_exact(request: ExactRequest) -> dict[str, Any]:
+    """Execute an ``exact`` request; mirrors ``repro-ioschedule exact``."""
+    tree = TaskTree(request.parents, request.weights)
+    result = exact_min_io(
+        tree,
+        request.memory,
+        max_states=request.max_states,
+        node_limit=request.node_limit,
+    )
+    gaps: dict[str, dict[str, Any]] = {}
+    for name in PAPER_ALGORITHMS:
+        io = get_algorithm(name)(tree, request.memory).io_volume
+        gap = (request.memory + io) / (request.memory + result.io_volume) - 1.0
+        gaps[name] = {"io_volume": io, "gap": gap}
+    return {
+        "kind": "exact",
+        "memory": request.memory,
+        "io_volume": result.io_volume,
+        "optimal": result.optimal,
+        "lower_bound": result.lower_bound,
+        "states_expanded": result.states_expanded,
+        "certificate": result.certificate(),
+        "gaps": gaps,
+    }
+
+
+_RUNNERS = {
+    SolveRequest.kind: run_solve,
+    PagingRequest.kind: run_paging,
+    ExactRequest.kind: run_exact,
+}
+
+
+def execute_request(request: Request, *, seed_rng: bool = True) -> dict[str, Any]:
+    """Run one validated request and wrap the outcome in an envelope.
+
+    ``seed_rng`` seeds the process-global RNG from the request's content
+    address — the same contract as the batch engine's shards, so
+    identical requests behave identically on any worker.  It is disabled
+    in inline (thread) mode, where concurrent batches share one
+    interpreter: seeding there would interleave across threads (no
+    determinism gained) and clobber the embedding process's RNG state.
+    """
+    key = request.key()
+    if seed_rng:
+        random.seed(unit_seed(key))
+    try:
+        result = _RUNNERS[request.kind](request)
+    except (InfeasibleSchedule, InvalidTraversal, ValueError, KeyError) as exc:
+        return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
+    return ok_envelope(result, key=key)
+
+
+def execute_payload(
+    payload: Mapping[str, Any], *, seed_rng: bool = True
+) -> dict[str, Any]:
+    """Worker entry point for one request payload (re-validates on arrival)."""
+    try:
+        request = parse_request(payload)
+    except Exception as exc:  # defence in depth; the server validated already
+        code = getattr(exc, "code", "internal")
+        return error_envelope(code, str(exc))
+    return execute_request(request, seed_rng=seed_rng)
+
+
+def execute_many(
+    payloads: list[Mapping[str, Any]], seed_rng: bool = True
+) -> list[dict[str, Any]]:
+    """Worker entry point for one micro-batch; one envelope per payload."""
+    return [execute_payload(p, seed_rng=seed_rng) for p in payloads]
+
+
+def _warmup() -> bool:
+    """A no-op unit of work used to pre-fork and import-warm the workers."""
+    return True
+
+
+class WorkerPool:
+    """A persistent executor shared by all micro-batches.
+
+    Parameters
+    ----------
+    jobs:
+        ``>= 1`` — that many worker *processes* (the production path);
+        ``0`` — run batches on an in-process thread pool of
+        ``inline_threads`` threads instead.
+    inline_threads:
+        concurrency of the inline mode; also the number of micro-batches
+        the server allows in flight at once (its dispatch semaphore is
+        sized to :attr:`concurrency`).
+    """
+
+    def __init__(self, jobs: int = 2, *, inline_threads: int = 1):
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.jobs = jobs
+        if jobs >= 1:
+            self.concurrency = jobs
+            self._executor: Executor = ProcessPoolExecutor(max_workers=jobs)
+        else:
+            self.concurrency = max(1, inline_threads)
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.concurrency, thread_name_prefix="repro-service"
+            )
+
+    def warm_up(self) -> None:
+        """Block until every worker exists and has imported the package.
+
+        Without this the first requests pay worker fork + import latency,
+        which would show up as a spurious cold-start tail in benchmarks.
+        """
+        futures = [self._executor.submit(_warmup) for _ in range(self.concurrency)]
+        for future in futures:
+            future.result()
+
+    async def run_batch(
+        self, payloads: list[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Execute one micro-batch without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        # Seed only in process workers (one batch at a time per process);
+        # inline threads share one interpreter, where seeding is a race.
+        return await loop.run_in_executor(
+            self._executor, execute_many, list(payloads), self.jobs >= 1
+        )
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)

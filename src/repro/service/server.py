@@ -1,0 +1,555 @@
+"""The asyncio scheduling service: JSON over HTTP, stdlib only.
+
+Request lifecycle::
+
+    POST /v1/submit ── validate ── dedup ──► admission queue ──► dispatcher
+                          │          │                               │
+                       400 + code    │ identical in-flight?          │ micro-batch
+                                     │   await its future            ▼ (window, max size)
+                                     │ result cache hit?          WorkerPool
+                                     │   answer immediately      (processes)
+                                     └ queue full? 429               │
+                                                     cache.put ◄─────┘
+                                                     resolve futures
+
+Three mechanisms do the heavy lifting:
+
+* **Micro-batching** — the dispatcher drains the admission queue for a
+  short window (``batch_window_ms``) and ships the whole batch to a
+  worker in one executor call, amortising pickle/IPC overhead exactly
+  when load is high (an idle service dispatches singletons with no
+  added latency beyond the window).
+* **Cache-backed dedup** — every request is content-addressed (see
+  :mod:`repro.service.protocol`); an identical *in-flight* request
+  coalesces onto the same future, and an identical *completed* request
+  is served from the shared :class:`~repro.datasets.store.ResultCache`
+  without touching a worker.  The cache directory can be the same one
+  ``repro-ioschedule report`` uses.
+* **Backpressure** — admission is a bounded queue; when it is full the
+  server answers ``429 queue_full`` immediately instead of letting
+  latency grow without bound, and per-request deadlines return
+  ``504 timeout`` (the computation itself keeps running and still
+  populates the cache for the retry).
+
+Endpoints: ``POST /v1/submit``, ``GET /healthz``, ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..datasets.store import ResultCache
+from .pool import WorkerPool
+from .protocol import (
+    HTTP_STATUS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_envelope,
+    ok_envelope,
+    parse_request,
+)
+
+__all__ = [
+    "ServerConfig",
+    "ServiceMetrics",
+    "ServiceServer",
+    "ServerThread",
+    "running_server",
+]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything the service needs to run; every field has a sane default."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177  # 0 = ephemeral (the bound port lands in ServiceServer.port)
+    workers: int = 2  # worker processes; 0 = in-process threads (tests)
+    inline_threads: int = 1  # concurrency when workers == 0
+    queue_limit: int = 64  # admission-queue capacity (backpressure bound)
+    batch_window_ms: float = 5.0  # how long the dispatcher waits to fill a batch
+    max_batch: int = 16  # requests per micro-batch
+    request_timeout: float = 60.0  # default per-request deadline (seconds)
+    max_body_bytes: int = 16 * 1024 * 1024
+    cache_dir: str | None = None  # None = no result cache
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters the ``/metrics`` endpoint exposes.
+
+    Latencies are kept in a bounded ring (most recent ~4096 completed
+    requests) and summarised into percentiles at scrape time.
+    """
+
+    started_at: float = field(default_factory=time.time)
+    received: int = 0
+    completed: int = 0
+    computed: int = 0  # requests that actually reached a worker
+    batches: int = 0
+    rejected: int = 0  # 429 queue_full
+    timeouts: int = 0
+    errors: int = 0  # validation + execution + internal errors
+    deduped_inflight: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _latencies_ms: list[float] = field(default_factory=list)
+    _max_latencies: int = 4096
+
+    def record_latency(self, seconds: float) -> None:
+        self._latencies_ms.append(seconds * 1000.0)
+        if len(self._latencies_ms) > self._max_latencies:
+            del self._latencies_ms[: -self._max_latencies]
+
+    @staticmethod
+    def _percentile(sorted_values: list[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+        return sorted_values[index]
+
+    def snapshot(self, *, queue_depth: int, inflight: int) -> dict[str, Any]:
+        lat = sorted(self._latencies_ms)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+            "requests": {
+                "received": self.received,
+                "completed": self.completed,
+                "computed": self.computed,
+                "rejected": self.rejected,
+                "timeouts": self.timeouts,
+                "errors": self.errors,
+                "deduped_inflight": self.deduped_inflight,
+            },
+            "batches": self.batches,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "latency_ms": {
+                "count": len(lat),
+                "p50": self._percentile(lat, 0.50),
+                "p90": self._percentile(lat, 0.90),
+                "p99": self._percentile(lat, 0.99),
+                "max": lat[-1] if lat else 0.0,
+            },
+        }
+
+
+class ServiceServer:
+    """The service itself; see the module docstring for the data flow.
+
+    Use :meth:`run` from the CLI (blocking), or ``await start()`` /
+    ``await stop()`` from an existing event loop (what
+    :class:`ServerThread` and the tests do).
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig = ServerConfig(),
+        *,
+        cache: ResultCache | None = None,
+        pool: WorkerPool | None = None,
+    ):
+        self.config = config
+        self.cache = cache if cache is not None else (
+            ResultCache(config.cache_dir) if config.cache_dir else None
+        )
+        self.pool = pool if pool is not None else WorkerPool(
+            config.workers, inline_threads=config.inline_threads
+        )
+        self.metrics = ServiceMetrics()
+        self.port: int | None = None  # bound port, set by start()
+        self._queue: asyncio.Queue[tuple[str, dict[str, Any]]] | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._batch_slots: asyncio.Semaphore | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue(maxsize=self.config.queue_limit)
+        # Bounding in-flight batches to the pool's concurrency is what
+        # makes the admission queue meaningful: when every worker is busy
+        # the queue fills and overload turns into 429s, not latency.
+        self._batch_slots = asyncio.Semaphore(self.pool.concurrency)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatcher
+        for task in list(self._batch_tasks):
+            task.cancel()
+        self.pool.shutdown()
+
+    def run(self) -> None:
+        """Blocking entry point (the CLI's ``serve``); Ctrl-C to stop."""
+
+        async def _main() -> None:
+            await self.start()
+            assert self._server is not None
+            try:
+                await self._server.serve_forever()
+            finally:
+                await self.stop()
+
+        asyncio.run(_main())
+
+    # ------------------------------------------------------------------ #
+    # dispatcher: queue -> micro-batches -> worker pool
+    # ------------------------------------------------------------------ #
+
+    async def _dispatch_loop(self) -> None:
+        assert self._queue is not None and self._batch_slots is not None
+        loop = asyncio.get_running_loop()
+        window = self.config.batch_window_ms / 1000.0
+        while True:
+            await self._batch_slots.acquire()
+            try:
+                first = await self._queue.get()
+            except asyncio.CancelledError:
+                self._batch_slots.release()
+                raise
+            batch = [first]
+            deadline = loop.time() + window
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[tuple[str, dict[str, Any]]]) -> None:
+        assert self._batch_slots is not None
+        try:
+            payloads = [payload for _, payload in batch]
+            try:
+                envelopes = await self.pool.run_batch(payloads)
+            except Exception as exc:  # pool death is an internal error
+                envelopes = [
+                    error_envelope("internal", f"worker pool failure: {exc}")
+                ] * len(batch)
+            self.metrics.batches += 1
+            self.metrics.computed += len(batch)
+            loop = asyncio.get_running_loop()
+            for (key, _), envelope in zip(batch, envelopes):
+                if envelope.get("ok") and self.cache is not None:
+                    try:
+                        # off the loop: a slow disk stalls this batch's
+                        # write-back, not every open connection
+                        await loop.run_in_executor(
+                            None, self.cache.put, key, envelope["result"]
+                        )
+                    except OSError:
+                        pass  # a full disk must not take the service down
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_result(envelope)
+        finally:
+            self._batch_slots.release()
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    async def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        self.metrics.received += 1
+        t0 = time.perf_counter()
+        try:
+            obj = json.loads(body)
+        except ValueError:
+            self.metrics.errors += 1
+            return 400, error_envelope("bad_json", "request body is not valid JSON")
+        try:
+            request = parse_request(obj)
+        except ProtocolError as exc:
+            self.metrics.errors += 1
+            return HTTP_STATUS[exc.code], error_envelope(exc.code, exc.message)
+
+        key = request.key()
+        timeout = request.timeout or self.config.request_timeout
+        loop = asyncio.get_running_loop()
+
+        # 1) coalesce onto an identical in-flight computation
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.deduped_inflight += 1
+            return await self._await_result(
+                existing, key, timeout, t0, deduped=True
+            )
+
+        # Register as in-flight *before* the cache lookup below awaits:
+        # identical requests arriving during the disk read coalesce here
+        # instead of issuing their own read (or their own computation).
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+
+        def _resolve(status: int, envelope: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(envelope)
+            return status, envelope
+
+        # 2) serve a completed identical request from the result cache
+        #    (disk I/O happens on the default executor, never on the loop)
+        if self.cache is not None:
+            value = await loop.run_in_executor(None, self.cache.get, key)
+            self.metrics.cache_hits = self.cache.hits
+            self.metrics.cache_misses = self.cache.misses
+            if value is not None:
+                self.metrics.completed += 1
+                self.metrics.record_latency(time.perf_counter() - t0)
+                return _resolve(200, ok_envelope(value, key=key, cached=True))
+
+        # 3) admit into the bounded queue (or reject: backpressure)
+        assert self._queue is not None
+        try:
+            self._queue.put_nowait((key, request.to_payload()))
+        except asyncio.QueueFull:
+            self.metrics.rejected += 1
+            # resolves the future too: coalesced waiters share the 429
+            return _resolve(
+                429,
+                error_envelope(
+                    "queue_full",
+                    f"admission queue at capacity ({self.config.queue_limit}); "
+                    "retry later",
+                ),
+            )
+        return await self._await_result(future, key, timeout, t0, deduped=False)
+
+    async def _await_result(
+        self,
+        future: asyncio.Future,
+        key: str,
+        timeout: float,
+        t0: float,
+        *,
+        deduped: bool,
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            # shield: a timeout abandons *this waiter*, not the shared
+            # computation — it still completes and populates the cache.
+            envelope = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.metrics.timeouts += 1
+            return 504, error_envelope(
+                "timeout", f"request did not complete within {timeout:.3f}s"
+            )
+        if envelope.get("ok"):
+            self.metrics.completed += 1
+            self.metrics.record_latency(time.perf_counter() - t0)
+            if deduped:
+                envelope = dict(envelope, deduped=True)
+            return 200, envelope
+        self.metrics.errors += 1
+        code = envelope.get("error", {}).get("code", "internal")
+        return HTTP_STATUS.get(code, 500), envelope
+
+    def _metrics_body(self) -> dict[str, Any]:
+        if self.cache is not None:
+            self.metrics.cache_hits = self.cache.hits
+            self.metrics.cache_misses = self.cache.misses
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        return self.metrics.snapshot(
+            queue_depth=queue_depth, inflight=len(self._inflight)
+        )
+
+    # ------------------------------------------------------------------ #
+    # minimal HTTP/1.1 plumbing (stdlib only; one request per connection)
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+            payload = json.dumps(body).encode("utf-8")
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to answer
+        finally:
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        try:
+            request_line = (await reader.readline()).decode("latin-1").strip()
+            parts = request_line.split()
+            if len(parts) < 2:
+                return 400, error_envelope("bad_request", "malformed request line")
+            method, path = parts[0], parts[1]
+
+            content_length = 0
+            while True:
+                line = (await reader.readline()).decode("latin-1")
+                if line in ("\r\n", "\n", ""):
+                    break
+                name, _, value = line.partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        return 400, error_envelope(
+                            "bad_request", "bad Content-Length"
+                        )
+            if content_length < 0:
+                return 400, error_envelope("bad_request", "bad Content-Length")
+        except (ValueError, asyncio.LimitOverrunError):
+            # an over-long request/header line blew the StreamReader limit
+            return 400, error_envelope("bad_request", "malformed HTTP request")
+
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "protocol": PROTOCOL_VERSION}
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics_body()
+        if path == "/v1/submit":
+            if method != "POST":
+                return 405, error_envelope(
+                    "method_not_allowed", f"{method} not allowed on {path}"
+                )
+            if content_length > self.config.max_body_bytes:
+                return 413, error_envelope(
+                    "payload_too_large",
+                    f"body of {content_length} bytes exceeds "
+                    f"{self.config.max_body_bytes}",
+                )
+            body = await reader.readexactly(content_length) if content_length else b""
+            return await self._submit(body)
+        return 404, error_envelope("not_found", f"no endpoint {method} {path}")
+
+
+class ServerThread:
+    """Run a :class:`ServiceServer` on a background thread (tests, benchmarks).
+
+    Context-manager protocol: entering starts the loop thread, binds the
+    socket (an ephemeral port if ``config.port == 0``) and blocks until
+    the service answers; exiting shuts everything down.
+
+    ::
+
+        with ServerThread(ServerConfig(port=0, workers=0)) as srv:
+            client = ServiceClient(port=srv.port)
+            ...
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig = ServerConfig(port=0, workers=0),
+        *,
+        cache: ResultCache | None = None,
+        pool: WorkerPool | None = None,
+    ):
+        self.server = ServiceServer(config, cache=cache, pool=pool)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None, "server not started"
+        return self.server.port
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("service did not start within 30s")
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.server.stop()
+
+        with contextlib.suppress(Exception):
+            asyncio.run(_main())
+
+
+@contextlib.contextmanager
+def running_server(
+    config: ServerConfig = ServerConfig(port=0, workers=0),
+    *,
+    cache: ResultCache | None = None,
+    pool: WorkerPool | None = None,
+) -> Iterator[ServiceServer]:
+    """``with running_server(...) as server:`` — thread-backed, auto-stopped."""
+    with ServerThread(config, cache=cache, pool=pool) as thread:
+        yield thread.server

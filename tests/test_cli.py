@@ -211,3 +211,80 @@ class TestGantt:
             == 0
         )
         assert out_svg.read_text().startswith("<svg")
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        from repro import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Bad arguments exit 2 (never a traceback), for every subcommand."""
+
+    def test_missing_tree_file(self, capsys):
+        assert main(["info", "--tree", "/no/such/tree.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_tree_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["solve", "--tree", str(path), "--memory", "6"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_tree_structure(self, tmp_path, capsys):
+        path = tmp_path / "cyclic.json"
+        path.write_text(json.dumps({"parents": [1, 0], "weights": [1, 1]}))
+        assert main(["exact", "--tree", str(path), "--memory", "6"]) == 2
+        assert "invalid tree" in capsys.readouterr().err
+
+    def test_unknown_instance_name_is_parse_error(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["instance", "--name", "figure_999"])
+        assert exit_info.value.code == 2
+
+    def test_submit_to_dead_server_exits_one(self, tree_file, capsys):
+        # nothing listens on port 1; the transport failure must exit 1
+        assert (
+            main(
+                [
+                    "submit", "--host", "127.0.0.1", "--port", "1",
+                    "--tree", tree_file, "--memory", "6",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_dir_collision_still_exits_two(self, tmp_path, capsys):
+        collision = tmp_path / "not-a-dir"
+        collision.write_text("occupied")
+        assert (
+            main(
+                [
+                    "report", "--scale", "tiny", "--outdir", str(tmp_path),
+                    "--cache-dir", str(collision),
+                ]
+            )
+            == 2
+        )
+
+
+class TestLazyAlgorithmChoices:
+    def test_strategies_registered_after_import_are_accepted(self):
+        from repro.cli import build_parser
+        from repro.experiments.registry import ALGORITHMS, register_algorithm
+
+        name = "TestLateRegistered"
+        register_algorithm(name, lambda tree, memory: None)
+        try:
+            args = build_parser().parse_args(
+                ["solve", "--tree", "x.json", "--memory", "1", "--algorithm", name]
+            )
+            assert args.algorithm == name
+        finally:
+            ALGORITHMS.pop(name, None)

@@ -1,0 +1,382 @@
+"""Tests for the scheduling service (repro.service).
+
+Everything here runs against a real socket: the server thread binds an
+ephemeral port and the synchronous client talks HTTP to it.  The pool
+runs in inline (thread) mode so strategies registered by the tests are
+visible to the workers and backpressure can be provoked deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.datasets.instances import figure_2b
+from repro.datasets.store import ResultCache
+from repro.experiments.registry import ALGORITHMS, get_algorithm, register_algorithm
+from repro.service import (
+    ProtocolError,
+    ServerConfig,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    parse_request,
+)
+from repro.service.protocol import ExactRequest, PagingRequest, SolveRequest
+
+
+TREE = figure_2b().tree
+TREE_DICT = TREE.to_dict()
+
+
+def _request(**overrides):
+    base = {"kind": "solve", "tree": TREE_DICT, "memory": 6, "algorithm": "RecExpand"}
+    base.update(overrides)
+    return base
+
+
+# --------------------------------------------------------------------- #
+# protocol validation (no server needed)
+# --------------------------------------------------------------------- #
+
+
+class TestProtocolValidation:
+    @pytest.mark.parametrize(
+        "mutation, code",
+        [
+            ({"kind": "wat"}, "unknown_kind"),
+            ({"tree": None}, "bad_field"),
+            ({"tree": {"parents": [0, -1], "weights": [1]}}, "invalid_tree"),
+            ({"tree": {"parents": [0, 0], "weights": [1, 1]}}, "invalid_tree"),
+            ({"tree": {"parents": [-1, "x"], "weights": [1, 1]}}, "bad_field"),
+            ({"memory": 0}, "bad_field"),
+            ({"memory": "lots"}, "bad_field"),
+            ({"memory": None}, "bad_field"),
+            ({"algorithm": "Nope"}, "unknown_algorithm"),
+            ({"timeout": -1}, "bad_field"),
+            ({"timeout": "fast"}, "bad_field"),
+        ],
+    )
+    def test_bad_solve_requests(self, mutation, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(_request(**mutation))
+        assert err.value.code == code
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request([1, 2, 3])
+        assert err.value.code == "bad_request"
+
+    @pytest.mark.parametrize(
+        "mutation, code",
+        [
+            ({"policies": []}, "bad_field"),
+            ({"policies": ["belady", "nope"]}, "unknown_policy"),
+            ({"page_size": 0}, "bad_field"),
+            ({"seed": -1}, "bad_field"),
+        ],
+    )
+    def test_bad_paging_requests(self, mutation, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(_request(kind="paging", **mutation))
+        assert err.value.code == code
+
+    @pytest.mark.parametrize(
+        "mutation, code",
+        [
+            ({"max_states": 0}, "bad_field"),
+            ({"node_limit": 65}, "bad_field"),
+        ],
+    )
+    def test_bad_exact_requests(self, mutation, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(_request(kind="exact", **mutation))
+        assert err.value.code == code
+
+    def test_valid_requests_parse(self):
+        assert isinstance(parse_request(_request()), SolveRequest)
+        assert isinstance(parse_request(_request(kind="paging")), PagingRequest)
+        assert isinstance(parse_request(_request(kind="exact")), ExactRequest)
+
+    def test_kind_defaults_to_solve(self):
+        obj = _request()
+        del obj["kind"]
+        assert isinstance(parse_request(obj), SolveRequest)
+
+    def test_key_is_content_addressed(self):
+        a = parse_request(_request()).key()
+        # field order must not matter
+        reordered = dict(reversed(list(_request().items())))
+        assert parse_request(reordered).key() == a
+        # any input change must change the key
+        assert parse_request(_request(memory=7)).key() != a
+        assert parse_request(_request(algorithm="OptMinMem")).key() != a
+        # the timeout is delivery policy, not content
+        assert parse_request(_request(timeout=5)).key() == a
+
+
+# --------------------------------------------------------------------- #
+# server fixtures
+# --------------------------------------------------------------------- #
+
+
+def _slow_strategy(tree, memory):
+    time.sleep(0.3)
+    return get_algorithm("OptMinMem")(tree, memory)
+
+
+@pytest.fixture
+def slow_algorithm():
+    name = "TestSlowService"
+    if name not in ALGORITHMS:
+        register_algorithm(name, _slow_strategy)
+    yield name
+    ALGORITHMS.pop(name, None)
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A served instance with an on-disk cache and two inline workers."""
+    cache = ResultCache(tmp_path / "cache")
+    config = ServerConfig(port=0, workers=0, inline_threads=2)
+    with ServerThread(config, cache=cache) as thread:
+        client = ServiceClient(port=thread.port, timeout=30.0)
+        assert client.wait_ready(15)
+        yield thread.server, client
+
+
+# --------------------------------------------------------------------- #
+# round-trips over a real socket
+# --------------------------------------------------------------------- #
+
+
+class TestRoundTrip:
+    def test_solve_matches_offline(self, server):
+        _, client = server
+        result = client.solve(TREE, 6, algorithm="FullRecExpand")
+        offline = get_algorithm("FullRecExpand")(TREE, 6)
+        assert result["io_volume"] == offline.io_volume == 3
+        assert result["schedule"] == list(offline.schedule)
+        assert result["performance"] == offline.performance(6)
+        assert {int(v): a for v, a in result["io"].items()} == {
+            v: a for v, a in enumerate(offline.io) if a
+        }
+
+    def test_paging_and_exact(self, server):
+        _, client = server
+        paging = client.paging(TREE, 6, policies=["belady", "lru"])
+        assert [row["policy"] for row in paging["policies"]] == ["belady", "lru"]
+        assert all(row["write_pages"] >= 0 for row in paging["policies"])
+        exact = client.exact(TREE, 6)
+        assert exact["io_volume"] == 3 and exact["optimal"]
+        assert set(exact["gaps"]) == {
+            "OptMinMem", "PostOrderMinIO", "RecExpand", "FullRecExpand",
+        }
+
+    def test_cli_submit_matches_cli_solve(self, server, tmp_path, capsys):
+        from repro.cli import main
+
+        _, client = server
+        tree_file = tmp_path / "tree.json"
+        tree_file.write_text(json.dumps(TREE_DICT))
+        argv_tail = [
+            "--tree", str(tree_file), "--memory", "6",
+            "--algorithm", "FullRecExpand", "--show-schedule",
+        ]
+        assert main(["solve", *argv_tail]) == 0
+        offline_out = capsys.readouterr().out
+        assert (
+            main(["submit", "--port", str(client.port), *argv_tail]) == 0
+        )
+        served_out = capsys.readouterr().out
+        assert served_out == offline_out  # byte-identical, per the contract
+
+    def test_cli_submit_paging_matches_cli_paging(self, server, tmp_path, capsys):
+        """Default policy set (and output) must match the offline command."""
+        from repro.cli import main
+
+        _, client = server
+        tree_file = tmp_path / "tree.json"
+        tree_file.write_text(json.dumps(TREE_DICT))
+        argv_tail = ["--tree", str(tree_file), "--memory", "8", "--page-size", "2"]
+        assert main(["paging", *argv_tail]) == 0
+        offline_out = capsys.readouterr().out
+        assert (
+            main(
+                ["submit", "--port", str(client.port), "--kind", "paging", *argv_tail]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == offline_out
+
+    def test_oversized_header_is_a_400_not_a_dropped_connection(self, server):
+        _, client = server
+        import http.client
+
+        conn = http.client.HTTPConnection(client.host, client.port, timeout=10)
+        try:
+            conn.putrequest("GET", "/healthz", skip_host=True)
+            conn.putheader("Host", "localhost")
+            conn.putheader("X-Junk", "j" * 100_000)  # blows the 64 KiB line limit
+            conn.endheaders()
+            response = conn.getresponse()
+            assert response.status == 400
+            body = json.loads(response.read())
+            assert body["error"]["code"] == "bad_request"
+        finally:
+            conn.close()
+
+    def test_error_envelope_over_socket(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as err:
+            client.submit(_request(algorithm="Nope"))
+        assert err.value.code == "unknown_algorithm"
+        assert err.value.status == 400
+
+    def test_unsolvable_is_a_422(self, server):
+        _, client = server
+        # memory below the tree's minimal feasible bound
+        with pytest.raises(ServiceError) as err:
+            client.submit(_request(memory=1))
+        assert err.value.code == "unsolvable"
+        assert err.value.status == 422
+
+    def test_unknown_endpoint_404(self, server):
+        _, client = server
+        with pytest.raises(ServiceError) as err:
+            client._request("GET", "/nope")
+        assert err.value.code == "not_found"
+
+    def test_health_and_metrics_shape(self, server):
+        _, client = server
+        assert client.health()["ok"] is True
+        client.solve(TREE, 6)
+        metrics = client.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["requests"]["completed"] >= 1
+        assert {"hits", "misses"} <= set(metrics["cache"])
+        assert {"p50", "p90", "p99", "count"} <= set(metrics["latency_ms"])
+        assert metrics["latency_ms"]["count"] >= 1
+
+
+# --------------------------------------------------------------------- #
+# dedup, caching, backpressure, timeouts
+# --------------------------------------------------------------------- #
+
+
+class TestDedupAndCache:
+    def test_repeat_request_is_a_cache_hit(self, server):
+        srv, client = server
+        first = client.submit(_request())
+        second = client.submit(_request())
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        assert srv.metrics.computed == 1
+
+    def test_identical_concurrent_submissions_compute_once(
+        self, server, slow_algorithm
+    ):
+        srv, client = server
+        request = _request(algorithm=slow_algorithm)
+        envelopes = []
+        errors = []
+
+        def submit():
+            try:
+                envelopes.append(client.submit(request))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(envelopes) == 4
+        results = [e["result"] for e in envelopes]
+        assert all(r == results[0] for r in results)
+        # one computation served everybody: the rest were coalesced
+        assert srv.metrics.computed == 1
+        assert srv.metrics.deduped_inflight >= 1
+        assert sum(1 for e in envelopes if e["deduped"]) >= 1
+
+    def test_sixteen_concurrent_clients_zero_drops(self, server):
+        srv, client = server
+        outcomes = []
+        errors = []
+
+        def submit(i):
+            try:
+                outcomes.append(client.solve(TREE, 6 + i))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outcomes) == 16
+        assert srv.metrics.rejected == 0
+        # every memory bound is a distinct request; all computed, none dropped
+        offline = {6 + i: get_algorithm("RecExpand")(TREE, 6 + i).io_volume for i in range(16)}
+        assert sorted(r["io_volume"] for r in outcomes) == sorted(offline.values())
+
+
+class TestBackpressureAndTimeouts:
+    def test_full_queue_rejects_with_429(self, tmp_path, slow_algorithm):
+        config = ServerConfig(
+            port=0,
+            workers=0,
+            inline_threads=1,  # one busy worker ...
+            queue_limit=1,  # ... and a single queue slot
+            max_batch=1,
+            batch_window_ms=0.5,
+        )
+        with ServerThread(config, cache=ResultCache(tmp_path / "cache")) as thread:
+            client = ServiceClient(port=thread.port, timeout=30.0)
+            assert client.wait_ready(15)
+            rejected = []
+            succeeded = []
+
+            def submit(i):
+                try:
+                    succeeded.append(
+                        client.submit(_request(algorithm=slow_algorithm, memory=6 + i))
+                    )
+                except ServiceError as exc:
+                    rejected.append(exc)
+
+            threads = [threading.Thread(target=submit, args=(i,)) for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert succeeded, "the service must keep serving under overload"
+            assert rejected, "a full queue must reject, not buffer unboundedly"
+            assert all(e.code == "queue_full" and e.status == 429 for e in rejected)
+            assert thread.server.metrics.rejected == len(rejected)
+
+    def test_deadline_returns_504_but_computation_completes(
+        self, server, slow_algorithm
+    ):
+        srv, client = server
+        request = _request(algorithm=slow_algorithm, timeout=0.05)
+        with pytest.raises(ServiceError) as err:
+            client.submit(request)
+        assert err.value.code == "timeout"
+        assert err.value.status == 504
+        # the abandoned computation still lands in the cache for the retry
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if srv.cache.get(parse_request(request).key()) is not None:
+                break
+            time.sleep(0.05)
+        retry = client.submit(_request(algorithm=slow_algorithm))
+        assert retry["cached"] is True

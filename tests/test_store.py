@@ -79,3 +79,57 @@ class TestRobustness:
             "from-cache", reloaded[:6], "Mmid", ("OptMinMem", "RecExpand")
         )
         assert result.num_instances > 0
+
+
+class TestResultCacheConcurrentPut:
+    """Regression: ``put`` used one shared ``.tmp`` name per key, so two
+    concurrent writers of the same key raced on it (one renames the temp
+    file away, the other's rename explodes or publishes a torn write)."""
+
+    def test_concurrent_writers_same_key_never_corrupt(self, tmp_path):
+        import threading
+
+        from repro.datasets.store import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        key = "ab" + "0" * 62
+        errors: list[Exception] = []
+
+        def writer(i: int) -> None:
+            try:
+                for j in range(30):
+                    cache.put(key, {"writer": i, "iteration": j})
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        value = cache.get(key)
+        assert value is not None and value["writer"] in range(8)
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_unique_temp_names_across_calls(self, tmp_path, monkeypatch):
+        """The temp path must differ between calls even within one process."""
+        import pathlib
+
+        from repro.datasets.store import ResultCache
+
+        cache = ResultCache(tmp_path / "cache")
+        original = pathlib.Path.write_text
+        names: list[str] = []
+
+        def spy(self, *args, **kwargs):
+            names.append(self.name)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", spy)
+        key = "cd" + "1" * 62
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 2})
+        tmp_names = [n for n in names if n.endswith(".tmp")]
+        assert len(tmp_names) == 2
+        assert tmp_names[0] != tmp_names[1]
