@@ -43,61 +43,95 @@ def iter_topological_orders(tree: TaskTree) -> Iterator[list[int]]:
     """Yield every topological order (children before parents) of the tree.
 
     Backtracking over the "available" frontier: a node becomes available
-    once all its children are scheduled.
+    once all its children are scheduled.  The backtracking runs on an
+    explicit frame stack (depth equals the node count, so a deep chain
+    must not recurse); the enumeration order is identical to the natural
+    recursive formulation.
     """
     n = tree.n
+    parents = tree.parents
     remaining_children = [len(c) for c in tree.children]
     available = [v for v in range(n) if remaining_children[v] == 0]
     prefix: list[int] = []
 
-    def backtrack() -> Iterator[list[int]]:
-        if len(prefix) == n:
+    # One frame per depth: [next candidate index, frontier size at entry].
+    frames: list[list[int]] = [[0, len(available)]]
+    # Moves applied to descend past each frame: (node, index, activated).
+    moves: list[tuple[int, int, bool]] = []
+    while frames:
+        frame = frames[-1]
+        i, width = frame
+        if i == 0 and len(prefix) == n:
             yield list(prefix)
-            return
-        # Iterate over a snapshot: `available` mutates during recursion.
-        for i in range(len(available)):
+        if i < width:
+            frame[0] = i + 1
+            # Apply candidate i: swap-pop it off the frontier.
             v = available[i]
             available[i] = available[-1]
             available.pop()
             prefix.append(v)
-            p = tree.parents[v]
+            p = parents[v]
             activated = False
             if p != -1:
                 remaining_children[p] -= 1
                 if remaining_children[p] == 0:
                     available.append(p)
                     activated = True
-            yield from backtrack()
-            if activated:
-                available.pop()
-            if p != -1:
-                remaining_children[p] += 1
-            prefix.pop()
-            available.append(v)
-            available[i], available[-1] = available[-1], available[i]
-
-    yield from backtrack()
+            moves.append((v, i, activated))
+            frames.append([0, len(available)])
+        else:
+            frames.pop()
+            if moves:
+                v, i, activated = moves.pop()
+                if activated:
+                    available.pop()
+                p = parents[v]
+                if p != -1:
+                    remaining_children[p] += 1
+                prefix.pop()
+                available.append(v)
+                available[i], available[-1] = available[-1], available[i]
 
 
 def iter_postorders(tree: TaskTree) -> Iterator[list[int]]:
-    """Yield every postorder of the tree (all children permutations)."""
+    """Yield every postorder of the tree (all children permutations).
+
+    Subtree postorder lists are combined bottom-up over the canonical
+    topological order (no recursion, so deep chains are fine); only the
+    root's combinations stay lazy, so the ``max_orders`` budget of the
+    callers kicks in before the full top-level product materialises.
+    """
     from itertools import permutations
 
-    # Recursively combine child subtree postorders in every order.
-    def orders(v: int) -> Iterator[list[int]]:
-        kids = tree.children[v]
-        if not kids:
-            yield [v]
-            return
-        child_lists = [list(orders(c)) for c in kids]
-        for perm in permutations(range(len(kids))):
-            stack: list[list[int]] = [[]]
+    def combine(child_lists: list[list[list[int]]], v: int):
+        for perm in permutations(range(len(child_lists))):
+            acc_lists: list[list[int]] = [[]]
             for idx in perm:
-                stack = [acc + sub for acc in stack for sub in child_lists[idx]]
-            for acc in stack:
+                acc_lists = [
+                    acc + sub for acc in acc_lists for sub in child_lists[idx]
+                ]
+            for acc in acc_lists:
                 yield acc + [v]
 
-    yield from orders(tree.root)
+    lists: list[list[list[int]] | None] = [None] * tree.n
+    root = tree.root
+    for v in tree.bottom_up():
+        kids = tree.children[v]
+        if v == root:
+            break
+        if not kids:
+            lists[v] = [[v]]
+        else:
+            child_lists = [lists[c] for c in kids]
+            lists[v] = list(combine(child_lists, v))
+            for c in kids:
+                lists[c] = None  # consumed exactly once; free early
+
+    kids = tree.children[root]
+    if not kids:
+        yield [root]
+        return
+    yield from combine([lists[c] for c in kids], root)
 
 
 def _best_over(

@@ -44,6 +44,13 @@ from .rec_expand import rec_expand
 
 __all__ = ["ExactResult", "SearchLimit", "exact_min_io", "optimality_gap"]
 
+#: hard ceiling on accepted instances, independent of ``node_limit``:
+#: the DFS recurses once per scheduled node, so this keeps the depth far
+#: below the interpreter's recursion limit.  Instances anywhere near it
+#: are unreachable in practice anyway (the state space is exponential
+#: and ``max_states`` fires long before).
+MAX_EXACT_NODES = 600
+
 
 class SearchLimit(RuntimeError):
     """Raised when the state budget is exhausted before proving optimality."""
@@ -107,6 +114,12 @@ def exact_min_io(
         raise ValueError(
             f"tree has {n} nodes > node_limit={node_limit}; the exact solver "
             "is exponential — raise node_limit explicitly if you mean it"
+        )
+    if n > MAX_EXACT_NODES:
+        raise ValueError(
+            f"tree has {n} nodes > the exact solver's hard ceiling "
+            f"{MAX_EXACT_NODES} (its search recurses once per node; anything "
+            "this large is out of reach for an exponential search anyway)"
         )
     lb_feasible = tree.min_feasible_memory()
     if memory < lb_feasible:

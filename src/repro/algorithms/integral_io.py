@@ -128,8 +128,11 @@ def _feasible_eviction_exact(
     Branch-and-bound over the eviction decision of each active output,
     taken lazily: walk the schedule; when a step overflows, branch on
     which active node to evict (any of them could be right — the knapsack
-    nature of the problem).  State is memoised on (step, evicted-set) via
-    the recursion structure; instances are expected tiny.
+    nature of the problem).  The search runs on an explicit stack (depth
+    is the schedule length plus the eviction count, which would blow the
+    interpreter's recursion limit on deep chains); exploration order and
+    pruning match the natural recursive formulation exactly, so ties
+    resolve to the same eviction set.
     """
     weights = tree.weights
     children = tree.children
@@ -143,15 +146,19 @@ def _feasible_eviction_exact(
         if death > pos[v] + 1 or p == -1:
             windows[v] = (pos[v], death)
 
-    best = [float("inf"), frozenset()]
+    horizon = len(schedule)
+    best_cost = float("inf")
+    best_set: frozenset[int] = frozenset()
 
-    def walk(t: int, evicted: frozenset[int], cost: int) -> None:
-        if cost >= best[0]:
-            return
-        if t == len(schedule):
-            best[0] = cost
-            best[1] = evicted
-            return
+    stack: list[tuple[int, frozenset[int], int]] = [(0, frozenset(), 0)]
+    while stack:
+        t, evicted, cost = stack.pop()
+        if cost >= best_cost:
+            continue
+        if t == horizon:
+            best_cost = cost
+            best_set = evicted
+            continue
         v = schedule[t]
         inputs = sum(weights[c] for c in children[v])
         wbar_v = max(weights[v], inputs)
@@ -162,18 +169,18 @@ def _feasible_eviction_exact(
         ]
         need = wbar_v + sum(weights[k] for k in active)
         if need <= memory:
-            walk(t + 1, evicted, cost)
-            return
+            stack.append((t + 1, evicted, cost))
+            continue
         if wbar_v > memory or not active:
-            return  # dead branch
-        # Must evict someone: branch over every active candidate.
-        for k in active:
-            walk(t, evicted | {k}, cost + weights[k])
+            continue  # dead branch
+        # Must evict someone: branch over every active candidate
+        # (reversed push so the pop order equals the loop order).
+        for k in reversed(active):
+            stack.append((t, evicted | {k}, cost + weights[k]))
 
-    walk(0, frozenset(), 0)
-    if best[0] == float("inf"):
+    if best_cost == float("inf"):
         raise InfeasibleSchedule("no whole-node eviction set fits the schedule")
-    return int(best[0]), best[1]
+    return int(best_cost), best_set
 
 
 def min_whole_node_io_given_schedule(

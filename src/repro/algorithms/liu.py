@@ -44,25 +44,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from ..core import kernels
+from ..core.engine import array_tree_or_none
 from ..core.tree import TaskTree
 
 __all__ = ["Segment", "LiuSolver", "opt_min_mem", "min_peak_memory"]
 
 
-# A rope is an int (single node) or a pair of ropes; flattening is iterative.
+# A rope is an int (single node) or a pair of ropes; flattening is
+# iterative and shared with the flat kernels (one encoding, one
+# flattener — see repro.core.kernels.flatten_rope).
 Rope = object
 
-
-def _flatten_rope(rope: Rope, out: list[int]) -> None:
-    stack = [rope]
-    while stack:
-        x = stack.pop()
-        if type(x) is int:
-            out.append(x)
-        else:
-            a, b = x  # type: ignore[misc]
-            stack.append(b)
-            stack.append(a)
+_flatten_rope = kernels.flatten_rope
 
 
 @dataclass(frozen=True)
@@ -191,12 +185,22 @@ class LiuSolver:
         return out
 
 
-def opt_min_mem(tree: TaskTree) -> tuple[list[int], int]:
-    """``OPTMINMEM``: an optimal-peak schedule and its peak memory."""
+def opt_min_mem(tree: TaskTree, *, engine: str | None = None) -> tuple[list[int], int]:
+    """``OPTMINMEM``: an optimal-peak schedule and its peak memory.
+
+    ``engine`` overrides the kernel engine (see :mod:`repro.core.engine`);
+    the flat kernel reproduces :class:`LiuSolver`'s schedule exactly.
+    """
+    at = array_tree_or_none(tree, engine)
+    if at is not None:
+        return kernels.liu_schedule(at)
     solver = LiuSolver(tree)
     return solver.schedule(), solver.peak()
 
 
-def min_peak_memory(tree: TaskTree) -> int:
+def min_peak_memory(tree: TaskTree, *, engine: str | None = None) -> int:
     """The in-core peak memory lower bound ``Peak_incore`` of a tree."""
+    at = array_tree_or_none(tree, engine)
+    if at is not None:
+        return kernels.liu_peak(at)
     return LiuSolver(tree).peak()

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core import kernels
+from ..core.engine import array_tree_or_none
 from ..core.tree import TaskTree
 
 __all__ = [
@@ -124,20 +126,43 @@ def _best_postorder(
     )
 
 
-def postorder_min_mem(tree: TaskTree) -> PostorderResult:
-    """``POSTORDERMINMEM``: the peak-memory-optimal postorder (Liu 1986)."""
+def _array_result(at, memory: int | None) -> PostorderResult:
+    schedule, storage, vio = kernels.best_postorder(at, memory)
+    return PostorderResult(
+        schedule=tuple(schedule),
+        storage=tuple(storage),
+        peak_memory=storage[at.root],
+        predicted_io=vio[at.root],
+    )
+
+
+def postorder_min_mem(tree: TaskTree, *, engine: str | None = None) -> PostorderResult:
+    """``POSTORDERMINMEM``: the peak-memory-optimal postorder (Liu 1986).
+
+    ``engine`` overrides the kernel engine (see :mod:`repro.core.engine`);
+    both engines return identical results.
+    """
+    at = array_tree_or_none(tree, engine)
+    if at is not None:
+        return _array_result(at, None)
     return _best_postorder(tree, None)
 
 
-def postorder_min_io(tree: TaskTree, memory: int) -> PostorderResult:
+def postorder_min_io(
+    tree: TaskTree, memory: int, *, engine: str | None = None
+) -> PostorderResult:
     """``POSTORDERMINIO`` (Algorithm 1): the I/O-optimal postorder.
 
     ``predicted_io`` is Agullo's ``V_root`` — by Theorem 4 this is the
     overall optimum on homogeneous trees, and on general trees it equals
-    the FiF cost of the returned schedule.
+    the FiF cost of the returned schedule.  ``engine`` overrides the
+    kernel engine; both engines return identical results.
     """
     if memory <= 0:
         raise ValueError(f"memory bound must be positive, got {memory}")
+    at = array_tree_or_none(tree, engine)
+    if at is not None:
+        return _array_result(at, memory)
     return _best_postorder(tree, memory)
 
 

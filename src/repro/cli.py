@@ -33,6 +33,7 @@ from typing import Any, Mapping, Sequence
 from . import __version__
 from .analysis.bounds import memory_bounds
 from .analysis.profiles import render_ascii, to_csv
+from .core.engine import ENGINES, engine_scope, set_default_engine
 from .core.traversal import validate
 from .core.tree import TaskTree, TreeError
 from .datasets import instances as paper_instances
@@ -88,7 +89,8 @@ def _print_solve(
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     tree = _load_tree(args.tree)
-    traversal = get_algorithm(args.algorithm)(tree, args.memory)
+    with engine_scope(args.engine):
+        traversal = get_algorithm(args.algorithm)(tree, args.memory)
     validate(tree, traversal, args.memory)
     _print_solve(
         args.algorithm,
@@ -236,7 +238,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         cache = ResultCache(cache_dir)
-    report = run_batch_report(args.scale, jobs=args.jobs, cache=cache, progress=print)
+    report = run_batch_report(
+        args.scale, jobs=args.jobs, cache=cache, engine=args.engine, progress=print
+    )
     json_path = outdir / f"experiments_{args.scale}.json"
     json_path.write_text(report.to_json())
     print(report_to_text(report))
@@ -271,6 +275,16 @@ def _cmd_instance(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import ServerConfig, ServiceServer
 
+    # Server-side default for requests that do not pin an engine.  The
+    # env var covers spawn-started workers (they re-import and read it);
+    # the in-process default covers inline threads and fork-started
+    # workers, which copy module state.  "auto" (the flag default) means
+    # "no preference" and must not clobber a user-set REPRO_ENGINE.
+    if args.engine != "auto":
+        import os
+
+        os.environ["REPRO_ENGINE"] = args.engine
+        set_default_engine(args.engine)
     cache_dir = None if args.no_cache else (args.cache_dir or "results/service-cache")
     config = ServerConfig(
         host=args.host,
@@ -308,6 +322,8 @@ def _build_submit_request(args: argparse.Namespace) -> dict[str, Any]:
     }
     if args.timeout:
         request["timeout"] = args.timeout
+    if args.engine != "auto":
+        request["engine"] = args.engine
     if args.kind in ("solve", "paging"):
         request["algorithm"] = args.algorithm
     if args.kind == "paging":
@@ -405,6 +421,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memory", type=int, required=True)
     p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
     p.add_argument("--show-schedule", action="store_true")
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="kernel engine: flat-array kernels or per-node objects "
+             "(auto picks by tree size; results are identical)",
+    )
     p.set_defaults(func=_cmd_solve)
 
     p = sub.add_parser("figure", help="regenerate an evaluation figure")
@@ -464,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache entirely",
     )
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="kernel engine for the figure shards (results are identical)",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("instance", help="run strategies on a paper instance")
@@ -507,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache (in-flight dedup stays on)",
     )
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="default kernel engine for requests that do not pin one",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit one request to a running service")
@@ -525,6 +554,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--timeout", type=float, default=0.0,
         help="per-request deadline in seconds (0 = server default)",
+    )
+    p.add_argument(
+        "--engine", default="auto", choices=ENGINES,
+        help="kernel engine the server should use for this request",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON envelope")
     p.set_defaults(func=_cmd_submit)

@@ -1,5 +1,19 @@
-"""Model substrate: trees, traversals, the FiF simulator and node expansion."""
+"""Model substrate: trees, traversals, the FiF simulator and node expansion.
 
+Two interchangeable kernel engines back the core computations: the
+object engine (per-node Python structures) and the flat-array engine
+(:class:`ArrayTree` + :mod:`repro.core.kernels`); see
+:mod:`repro.core.engine` for how one is selected.
+"""
+
+from .arraytree import ArrayTree, as_array_tree
+from .engine import (
+    ENGINES,
+    default_engine,
+    engine_scope,
+    resolve_engine,
+    set_default_engine,
+)
 from .execution import ExecutionReport, MachineModel, execute_traversal
 from .expansion import ExpansionTree, Role, expand_tree
 from .simulator import (
@@ -17,6 +31,13 @@ from .tree import TaskTree, TreeError, balanced_binary_tree, chain_tree, star_tr
 __all__ = [
     "TaskTree",
     "TreeError",
+    "ArrayTree",
+    "as_array_tree",
+    "ENGINES",
+    "default_engine",
+    "engine_scope",
+    "resolve_engine",
+    "set_default_engine",
     "chain_tree",
     "star_tree",
     "balanced_binary_tree",

@@ -1,0 +1,154 @@
+"""Kernel-engine selection: object trees vs flat-array kernels.
+
+Two interchangeable engines compute every core quantity of the
+reproduction:
+
+``object``
+    the original implementations over :class:`~repro.core.tree.TaskTree`
+    (and the mutable expansion trees) — per-node Python structures,
+    arbitrary-precision integers;
+``array``
+    the flat CSR kernels of :mod:`repro.core.kernels` over
+    :class:`~repro.core.arraytree.ArrayTree` — int64 arrays, no
+    recursion, several times faster and leaner on big trees.
+
+Results are **exactly equal** (schedules, ``S_i``/``V_i``, I/O
+functions, peaks) — the randomized cross-validation harness enforces
+this — so engine choice is purely a performance knob.  The default mode
+``auto`` uses the array kernels once a tree is large enough to amortise
+the conversion (:data:`AUTO_THRESHOLD` nodes) and whenever the caller
+already holds an ``ArrayTree``.
+
+Selection surface, in precedence order:
+
+1. an explicit ``engine=`` argument on the public APIs;
+2. the innermost :func:`engine_scope` context (thread-local — the
+   service's inline worker threads do not leak into each other);
+3. the process default, settable with :func:`set_default_engine` and
+   seeded from the ``REPRO_ENGINE`` environment variable.
+
+Because results are identical across engines, the batch engine's and
+the service's content-addressed cache keys deliberately *exclude* the
+engine: a result computed by either engine serves requests for both.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+
+from .arraytree import ArrayTree, as_array_tree
+from .tree import TaskTree, TreeError
+
+__all__ = [
+    "ENGINES",
+    "AUTO_THRESHOLD",
+    "default_engine",
+    "set_default_engine",
+    "engine_scope",
+    "resolve_engine",
+    "array_tree_or_none",
+]
+
+#: the accepted engine names.
+ENGINES = ("auto", "object", "array")
+
+#: in ``auto`` mode, trees with at least this many nodes take the array
+#: kernels; below it the conversion overhead outweighs the win.
+AUTO_THRESHOLD = 512
+
+_local = threading.local()
+
+
+def _checked(name: str) -> str:
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; available: {ENGINES}")
+    return name
+
+
+def _default_from_env() -> str:
+    """Seed the process default from ``REPRO_ENGINE``.
+
+    Runs at import time, so an invalid value must not raise (it would
+    take down every ``import repro``, including ``--version``); warn and
+    fall back to ``auto`` instead.
+    """
+    name = os.environ.get("REPRO_ENGINE", "auto")
+    if name not in ENGINES:
+        import warnings
+
+        warnings.warn(
+            f"ignoring invalid REPRO_ENGINE={name!r}; available: {ENGINES}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "auto"
+    return name
+
+
+_default = _default_from_env()
+
+
+def default_engine() -> str:
+    """The engine in effect when no explicit argument/scope overrides it."""
+    return getattr(_local, "engine", None) or _default
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default; returns the previous value."""
+    global _default
+    previous = _default
+    _default = _checked(name)
+    return previous
+
+
+@contextmanager
+def engine_scope(name: str | None):
+    """Thread-locally pin the engine for the duration of the block.
+
+    ``None`` and ``"auto"`` are no-op scopes: ``auto`` means "no
+    preference", so it must *not* shadow a process default set with
+    :func:`set_default_engine` or ``REPRO_ENGINE`` (e.g. the
+    ``serve --engine`` server-wide setting, which requests that do not
+    pin an engine are supposed to inherit).
+    """
+    if name is None or _checked(name) == "auto":
+        yield
+        return
+    previous = getattr(_local, "engine", None)
+    _local.engine = name
+    try:
+        yield
+    finally:
+        _local.engine = previous
+
+
+def resolve_engine(engine: str | None, tree) -> str:
+    """Resolve an optional override + a tree into ``"object"``/``"array"``."""
+    name = _checked(engine) if engine is not None else default_engine()
+    if name != "auto":
+        return name
+    if isinstance(tree, ArrayTree):
+        return "array"
+    return "array" if getattr(tree, "n", 0) >= AUTO_THRESHOLD else "object"
+
+
+def array_tree_or_none(tree, engine: str | None = None) -> ArrayTree | None:
+    """The dispatch helper used by every public API.
+
+    Returns an :class:`ArrayTree` when the resolved engine is ``array``
+    and the input is convertible, else ``None`` (meaning: stay on the
+    object path).  Inputs the flat layout cannot hold — mutable
+    expansion trees, weights beyond int64 — quietly fall back, keeping
+    ``engine="array"`` a performance request rather than a new failure
+    mode.
+    """
+    if not isinstance(tree, (TaskTree, ArrayTree)):
+        return None
+    if resolve_engine(engine, tree) != "array":
+        return None
+    try:
+        return as_array_tree(tree)
+    except TreeError:
+        return None

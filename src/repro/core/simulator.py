@@ -26,6 +26,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Mapping, Protocol, Sequence
 
+from . import kernels
+from .engine import array_tree_or_none
 from .traversal import Traversal
 
 __all__ = [
@@ -86,6 +88,7 @@ def simulate_fif(
     memory: int | None,
     *,
     trace: bool = False,
+    engine: str | None = None,
 ) -> SimulationResult:
     """Run ``schedule`` under memory bound ``memory`` with FiF evictions.
 
@@ -102,6 +105,12 @@ def simulate_fif(
         (no evictions — useful to measure the peak of a schedule).
     trace:
         record a :class:`StepTrace` per step (costs memory; off by default).
+    engine:
+        kernel-engine override (see :mod:`repro.core.engine`).  Full-tree
+        schedules on immutable trees run on the flat-array kernel when it
+        resolves to ``array``; traced runs, subtree schedules and mutable
+        expansion trees always use the object path.  Results are
+        identical either way.
 
     Returns
     -------
@@ -115,6 +124,12 @@ def simulate_fif(
         if some step needs more than ``memory`` with every other active
         output fully evicted, i.e. ``wbar > M``.
     """
+    if not trace and len(schedule) == len(tree.weights):
+        at = array_tree_or_none(tree, engine)
+        if at is not None:
+            io, io_total, peak = kernels.simulate_fif(at, schedule, memory)
+            return SimulationResult(io=io, io_volume=io_total, peak_memory=peak)
+
     weights = tree.weights
     parents = tree.parents
     children = tree.children

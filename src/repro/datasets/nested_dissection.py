@@ -140,16 +140,31 @@ def nested_dissection_ordering(
         local = minimum_degree_ordering(sub)
         order.extend(vertices[i] for i in local)
 
-    def dissect(vertices: list[int]) -> None:
+    # Explicit work stack instead of recursion: path-like graphs produce
+    # dissection trees hundreds of levels deep, which must not lean on
+    # the interpreter's recursion limit.  LIFO processing with reversed
+    # pushes reproduces the recursive emission order exactly
+    # (components in increasing size, separators after their parts).
+    work: list[tuple[str, list[int]]] = [
+        ("dissect", component)
+        for component in reversed(
+            sorted(_components(adj, list(range(n)), alive), key=len)
+        )
+    ]
+    while work:
+        action, vertices = work.pop()
+        if action == "emit":
+            order_leaf(vertices)
+            continue
         if len(vertices) <= leaf_size:
             order_leaf(sorted(vertices))
-            return
+            continue
         start = pseudo_peripheral_vertex(adj, vertices[0], alive)
         levels = bfs_levels(adj, start, alive)
         if len(levels) < 3:
             # No usable separator (near-clique component): stop dissecting.
             order_leaf(sorted(vertices))
-            return
+            continue
         total = sum(len(lv) for lv in levels)
         cum = 0
         sep_idx = len(levels) // 2
@@ -162,12 +177,10 @@ def nested_dissection_ordering(
         for v in separator:
             alive[v] = False
         rest = [v for v in vertices if alive[v]]
-        for part in sorted(_components(adj, rest, alive), key=len):
-            dissect(part)
-        order_leaf(sorted(separator))
+        work.append(("emit", sorted(separator)))
+        for part in reversed(sorted(_components(adj, rest, alive), key=len)):
+            work.append(("dissect", part))
 
-    for component in sorted(_components(adj, list(range(n)), alive), key=len):
-        dissect(component)
     assert len(order) == n
     return np.asarray(order, dtype=np.int64)
 

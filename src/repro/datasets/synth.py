@@ -15,12 +15,35 @@ nodes, so uniformity carries over.
 A second generator samples uniform *plane trees* (unbounded arity, also
 Catalan-counted) through the cycle lemma, for workloads with high-degree
 joins.  Both are deterministic given their ``numpy`` random generator.
+
+Huge-tree families
+------------------
+
+Assembly trees of real sparse matrices reach 10^5–10^6 nodes, so the
+kernel layer (:mod:`repro.core.arraytree`) is exercised by a second set
+of generators sized for that scale.  They return
+:class:`~repro.core.arraytree.ArrayTree` directly — building a
+``TaskTree`` at 10^6 nodes costs more than solving the instance — and
+cover the shapes that stress different code paths:
+
+* ``chain`` — maximal depth, the recursion-killer;
+* ``star`` — maximal arity, the child-sort stress test;
+* ``attachment`` — preferential attachment, heavy-tailed degrees like
+  the fan-in of supernodal elimination trees;
+* ``nd`` — a nested-dissection-shaped balanced binary separator tree
+  with weights growing toward the root (the multifrontal profile);
+* ``caterpillar`` — a prescribed-depth spine with random hair, the
+  "deep random tree" regression shape.
+
+All are ``O(n)`` and deterministic given a seed; see
+:func:`huge_instance` for the dispatcher.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.arraytree import ArrayTree
 from ..core.tree import TaskTree
 
 __all__ = [
@@ -29,6 +52,13 @@ __all__ = [
     "random_weights",
     "synth_instance",
     "synth_dataset",
+    "HUGE_FAMILIES",
+    "huge_chain",
+    "huge_star",
+    "random_attachment_tree",
+    "nested_dissection_shaped_tree",
+    "deep_random_tree",
+    "huge_instance",
 ]
 
 
@@ -161,3 +191,157 @@ def synth_dataset(
         synth_instance(n_nodes, seed + i, weight_range=weight_range, shape=shape)
         for i in range(num_trees)
     ]
+
+
+# ----------------------------------------------------------------------
+# huge-tree families (kernel-scale instances, returned as ArrayTree)
+# ----------------------------------------------------------------------
+def _huge_weights(
+    n: int, rng: np.random.Generator, weight_range: tuple[int, int]
+) -> np.ndarray:
+    low, high = weight_range
+    if low < 0 or high < low:
+        raise ValueError(f"bad weight range [{low}, {high}]")
+    return rng.integers(low, high + 1, size=n, dtype=np.int64)
+
+
+def huge_chain(
+    n: int, rng: np.random.Generator, *, weight_range: tuple[int, int] = (1, 100)
+) -> ArrayTree:
+    """A depth ``n-1`` chain (node 0 is the root) with random weights."""
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    parents = np.arange(-1, n - 1, dtype=np.int64)
+    return ArrayTree(parents, _huge_weights(n, rng, weight_range))
+
+
+def huge_star(
+    n: int, rng: np.random.Generator, *, weight_range: tuple[int, int] = (1, 100)
+) -> ArrayTree:
+    """One root consuming ``n-1`` independent leaves, random weights."""
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    parents = np.zeros(n, dtype=np.int64)
+    parents[0] = -1
+    return ArrayTree(parents, _huge_weights(n, rng, weight_range))
+
+
+def random_attachment_tree(
+    n: int, rng: np.random.Generator, *, weight_range: tuple[int, int] = (1, 100)
+) -> ArrayTree:
+    """Preferential attachment: heavy-tailed in-degrees, depth ``O(log n)``.
+
+    Node ``i`` attaches to a uniformly drawn *edge endpoint* among the
+    earlier nodes (the classic Barabási–Albert list trick), so the
+    probability of becoming a parent is proportional to ``degree + 1``.
+    The result has a small number of very-high-arity joins — the shape
+    of supernodal assembly trees after amalgamation.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    parents = [-1]
+    if n > 1:
+        # |endpoints| = 2(i-1) + 1 right before node i attaches.
+        draws = rng.integers(0, 2 * np.arange(n - 1, dtype=np.int64) + 1)
+        endpoints = [0]
+        push = endpoints.append
+        add_parent = parents.append
+        for i in range(1, n):
+            p = endpoints[draws[i - 1]]
+            add_parent(p)
+            push(p)
+            push(i)
+    return ArrayTree(parents, _huge_weights(n, rng, weight_range))
+
+
+def nested_dissection_shaped_tree(
+    n: int, rng: np.random.Generator, *, dimension: int = 2
+) -> ArrayTree:
+    """A balanced binary separator tree with multifrontal-style weights.
+
+    Shape of the elimination tree that nested dissection produces on a
+    ``dimension``-D mesh: complete binary tree; the node at depth ``d``
+    stands for the separator of a region of ``~n / 2^d`` vertices, whose
+    output (contribution block) scales like the separator size
+    ``region^((dimension-1)/dimension)`` — big fronts at the root,
+    unit leaves, ±20 % jitter.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    if dimension < 2:
+        raise ValueError(f"dimension must be >= 2, got {dimension}")
+    parents = np.empty(n, dtype=np.int64)
+    parents[0] = -1
+    if n > 1:
+        ids = np.arange(1, n, dtype=np.int64)
+        parents[1:] = (ids - 1) // 2
+    depth = np.floor(np.log2(np.arange(n, dtype=np.float64) + 1.0))
+    region = n / np.exp2(depth)
+    base = np.power(region, (dimension - 1) / dimension)
+    jitter = rng.uniform(0.8, 1.2, size=n)
+    weights = np.maximum(1, np.rint(base * jitter)).astype(np.int64)
+    return ArrayTree(parents, weights)
+
+
+def deep_random_tree(
+    n: int,
+    depth: int,
+    rng: np.random.Generator,
+    *,
+    weight_range: tuple[int, int] = (1, 100),
+) -> ArrayTree:
+    """A random tree of exactly the prescribed ``depth`` (a caterpillar).
+
+    A spine of ``depth + 1`` nodes fixes the depth; the remaining
+    ``n - depth - 1`` nodes attach as leaves to uniformly random spine
+    nodes.  This is the regression shape for "deep but not degenerate":
+    random structure everywhere, yet any recursive traversal dies.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got {n}")
+    if not 0 <= depth <= n - 1 or (n > 1 and depth < 1):
+        raise ValueError(f"depth {depth} impossible with {n} nodes")
+    parents = np.empty(n, dtype=np.int64)
+    spine = depth + 1
+    parents[:spine] = np.arange(-1, depth, dtype=np.int64)
+    extra = n - spine
+    if extra > 0:
+        # Hair may attach anywhere but the deepest spine node (a leaf
+        # hanging off it would extend the path to depth + 1).
+        parents[spine:] = rng.integers(0, spine - 1, size=extra)
+    return ArrayTree(parents, _huge_weights(n, rng, weight_range))
+
+
+#: the huge-tree families, keyed for :func:`huge_instance`.
+HUGE_FAMILIES = ("chain", "star", "attachment", "nd", "caterpillar")
+
+
+def huge_instance(
+    family: str,
+    n: int,
+    seed: int,
+    *,
+    weight_range: tuple[int, int] = (1, 100),
+    depth: int | None = None,
+) -> ArrayTree:
+    """One kernel-scale instance of a named family (see module docstring).
+
+    ``depth`` applies to the ``caterpillar`` family only (default
+    ``n // 2``), and ``weight_range`` to every family except ``nd``,
+    whose whole point is multifrontal separator-scaled weights (see
+    :func:`nested_dissection_shaped_tree`).  Everything is deterministic
+    given ``(family, n, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    if family == "chain":
+        return huge_chain(n, rng, weight_range=weight_range)
+    if family == "star":
+        return huge_star(n, rng, weight_range=weight_range)
+    if family == "attachment":
+        return random_attachment_tree(n, rng, weight_range=weight_range)
+    if family == "nd":
+        return nested_dissection_shaped_tree(n, rng)
+    if family == "caterpillar":
+        d = depth if depth is not None else n // 2
+        return deep_random_tree(n, d, rng, weight_range=weight_range)
+    raise ValueError(f"unknown family {family!r}; available: {HUGE_FAMILIES}")

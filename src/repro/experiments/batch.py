@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 from ..analysis.bounds import memory_bounds
 from ..analysis.metrics import performance
 from ..analysis.profiles import build_profile
+from ..core.engine import engine_scope
 from ..core.traversal import validate
 from ..core.tree import TaskTree
 from ..datasets import instances as paper_instances
@@ -128,6 +129,11 @@ class FigureShard:
     index: int  # position within the figure (merge order)
     trees: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
     seed: int  # deterministic per-shard seed (derived from the key)
+    #: kernel engine the workers run under.  Deliberately **excluded**
+    #: from the cache key: both engines produce byte-identical results
+    #: (the cross-validation harness enforces it), so a cached result
+    #: serves every engine setting.
+    engine: str = "auto"
 
     def key(self) -> str:
         """Content-address of this shard's inputs."""
@@ -194,6 +200,7 @@ def shard_figure(
     scale: Scale | str,
     *,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    engine: str = "auto",
 ) -> list[FigureShard]:
     """Cut one figure's instance list into contiguous shards.
 
@@ -217,6 +224,7 @@ def shard_figure(
             index=index,
             trees=tuple((t.parents, t.weights) for t in chunk),
             seed=0,
+            engine=engine,
         )
         # The seed is derived from the content address (which excludes the
         # seed field itself), so it is stable across runs and distinct
@@ -277,18 +285,19 @@ def run_shard(shard: FigureShard) -> dict[str, Any]:
     io: dict[str, list[int]] = {a: [] for a in shard.algorithms}
     memories: list[int] = []
     sizes: list[int] = []
-    for parents, weights in shard.trees:
-        tree = TaskTree(parents, weights)
-        bounds = memory_bounds(tree)
-        if not bounds.has_io_regime:
-            continue
-        memory = bounds.grid()[shard.bound]
-        memories.append(memory)
-        sizes.append(tree.n)
-        for a in shard.algorithms:
-            traversal = get_algorithm(a)(tree, memory)
-            validate(tree, traversal, memory)
-            io[a].append(traversal.io_volume)
+    with engine_scope(shard.engine):
+        for parents, weights in shard.trees:
+            tree = TaskTree(parents, weights)
+            bounds = memory_bounds(tree)
+            if not bounds.has_io_regime:
+                continue
+            memory = bounds.grid()[shard.bound]
+            memories.append(memory)
+            sizes.append(tree.n)
+            for a in shard.algorithms:
+                traversal = get_algorithm(a)(tree, memory)
+                validate(tree, traversal, memory)
+                io[a].append(traversal.io_volume)
     return {
         "io": {a: list(v) for a, v in io.items()},
         "memories": memories,
@@ -452,6 +461,7 @@ def run_batch_figures(
     cache: ResultCache | None = None,
     stats: BatchStats | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    engine: str = "auto",
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Regenerate the requested figures through the sharded engine.
@@ -471,7 +481,8 @@ def run_batch_figures(
     # ``figure_ids or sorted(FIGURES)``.
     ids = list(figure_ids) if figure_ids else sorted(FIGURE_SPECS)
     by_figure: dict[str, list[FigureShard]] = {
-        fid: shard_figure(fid, scale, shard_size=shard_size) for fid in ids
+        fid: shard_figure(fid, scale, shard_size=shard_size, engine=engine)
+        for fid in ids
     }
     flat: list[FigureShard] = [s for fid in ids for s in by_figure[fid]]
     payloads = _execute_units(
@@ -506,6 +517,7 @@ def run_batch_report(
     jobs: int = 1,
     cache: ResultCache | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
+    engine: str = "auto",
     progress: Callable[[str], None] | None = None,
 ) -> "ExperimentReport":
     """The whole evaluation through the batch engine.
@@ -513,6 +525,9 @@ def run_batch_report(
     Equivalent to :func:`repro.experiments.runner.run_all` — same
     figures, same counterexamples, same summary values — with the
     ``batch`` provenance block (shard and cache counters) filled in.
+    ``engine`` selects the kernel engine the figure shards run under
+    (``auto``/``object``/``array``; results are identical either way,
+    which is why it is not part of the cache keys).
     Returns an :class:`~repro.experiments.runner.ExperimentReport`.
     """
     from .runner import ExperimentReport
@@ -534,6 +549,7 @@ def run_batch_report(
         cache=cache,
         stats=stats,
         shard_size=shard_size,
+        engine=engine,
         progress=progress,
     )
     if cache is not None:

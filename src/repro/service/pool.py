@@ -27,6 +27,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Mapping
 
 from ..algorithms.exact import exact_min_io
+from ..core.engine import engine_scope
 from ..core.traversal import InvalidTraversal, validate
 from ..core.simulator import InfeasibleSchedule
 from ..core.tree import TaskTree
@@ -150,7 +151,10 @@ def execute_request(request: Request, *, seed_rng: bool = True) -> dict[str, Any
     if seed_rng:
         random.seed(unit_seed(key))
     try:
-        result = _RUNNERS[request.kind](request)
+        # Thread-local scope: inline (thread-pool) workers honour each
+        # request's engine without clobbering their batch-mates'.
+        with engine_scope(request.engine):
+            result = _RUNNERS[request.kind](request)
     except (InfeasibleSchedule, InvalidTraversal, ValueError, KeyError) as exc:
         return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
     return ok_envelope(result, key=key)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping
 
+from ..core.engine import ENGINES
 from ..core.tree import TaskTree, TreeError
 from ..datasets.store import cache_key
 from ..experiments.batch import ENGINE_VERSION
@@ -175,6 +176,21 @@ def _parse_algorithm(obj: Mapping[str, Any], *, default: str = "RecExpand") -> s
     return algorithm
 
 
+def _parse_engine(obj: Mapping[str, Any]) -> str:
+    """The optional kernel-engine override (``auto``/``object``/``array``).
+
+    Purely a performance knob: both engines return identical results, so
+    the engine is **not** part of the request's content address — a
+    cached result computed under either engine serves both.
+    """
+    engine = obj.get("engine", "auto")
+    if engine not in ENGINES:
+        raise _fail(
+            "bad_field", f"'engine' must be one of {list(ENGINES)}, got {engine!r}"
+        )
+    return engine
+
+
 def _parse_timeout(obj: Mapping[str, Any]) -> float | None:
     timeout = obj.get("timeout")
     if timeout is None:
@@ -193,6 +209,7 @@ class SolveRequest:
     memory: int
     algorithm: str
     timeout: float | None = None
+    engine: str = "auto"
 
     kind = "solve"
 
@@ -202,6 +219,7 @@ class SolveRequest:
             "tree": {"parents": list(self.parents), "weights": list(self.weights)},
             "memory": self.memory,
             "algorithm": self.algorithm,
+            "engine": self.engine,
         }
 
     def key(self) -> str:
@@ -229,6 +247,7 @@ class PagingRequest:
     policies: tuple[str, ...]
     seed: int
     timeout: float | None = None
+    engine: str = "auto"
 
     kind = "paging"
 
@@ -241,6 +260,7 @@ class PagingRequest:
             "page_size": self.page_size,
             "policies": list(self.policies),
             "seed": self.seed,
+            "engine": self.engine,
         }
 
     def key(self) -> str:
@@ -269,6 +289,7 @@ class ExactRequest:
     max_states: int
     node_limit: int
     timeout: float | None = None
+    engine: str = "auto"
 
     kind = "exact"
 
@@ -279,6 +300,7 @@ class ExactRequest:
             "memory": self.memory,
             "max_states": self.max_states,
             "node_limit": self.node_limit,
+            "engine": self.engine,
         }
 
     def key(self) -> str:
@@ -316,6 +338,7 @@ def parse_request(obj: Any) -> Request:
     parents, weights = _parse_tree(obj)
     memory = _require_int(obj.get("memory"), "memory", lo=1, hi=10**15)
     timeout = _parse_timeout(obj)
+    engine = _parse_engine(obj)
 
     if kind == "solve":
         return SolveRequest(
@@ -324,6 +347,7 @@ def parse_request(obj: Any) -> Request:
             memory=memory,
             algorithm=_parse_algorithm(obj),
             timeout=timeout,
+            engine=engine,
         )
 
     if kind == "paging":
@@ -349,6 +373,7 @@ def parse_request(obj: Any) -> Request:
             policies=tuple(policies),
             seed=_require_int(obj.get("seed", 0), "seed", lo=0, hi=2**32 - 1),
             timeout=timeout,
+            engine=engine,
         )
 
     return ExactRequest(
@@ -360,4 +385,5 @@ def parse_request(obj: Any) -> Request:
         ),
         node_limit=_require_int(obj.get("node_limit", 24), "node_limit", lo=1, hi=64),
         timeout=timeout,
+        engine=engine,
     )

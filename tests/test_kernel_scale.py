@@ -1,0 +1,89 @@
+"""Million-node regression tests for the flat kernel layer.
+
+The paper's experimental subjects — assembly trees of sparse matrices —
+reach 10^5–10^6 nodes and can be chain-deep.  These tests pin the two
+failure modes the kernel layer exists to remove:
+
+* ``RecursionError`` on deep trees (the solvers must be iterative; the
+  interpreter's recursion limit is asserted untouched);
+* super-linear blow-ups (each end-to-end solve must land well inside a
+  generous wall-clock budget even on slow CI machines).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.algorithms.liu import min_peak_memory, opt_min_mem
+from repro.algorithms.postorder import postorder_min_io, postorder_min_mem
+from repro.analysis.tree_stats import tree_stats
+from repro.core.simulator import simulate_fif
+from repro.datasets.synth import huge_instance
+
+MILLION = 1_000_000
+
+#: seconds per end-to-end scenario; actual runtimes are a small fraction
+#: of this — the budget exists to catch accidental O(n^2) regressions,
+#: not to benchmark.
+WALL_BUDGET = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _recursion_limit_untouched():
+    """No test (and no kernel under it) may touch the recursion limit."""
+    limit = sys.getrecursionlimit()
+    yield
+    assert sys.getrecursionlimit() == limit
+
+
+def test_million_node_chain_end_to_end():
+    t0 = time.perf_counter()
+    at = huge_instance("chain", MILLION, seed=1)
+    assert at.n == MILLION
+    assert at.depth() == MILLION - 1
+
+    peak = min_peak_memory(at)
+    memory = max(at.min_feasible_memory(), peak - 1)
+    result = postorder_min_io(at, memory)
+    assert len(result.schedule) == MILLION
+    sim = simulate_fif(at, result.schedule, memory)
+    assert result.predicted_io == sim.io_volume
+
+    schedule, liu_peak = opt_min_mem(at)
+    assert len(schedule) == MILLION
+    assert liu_peak == peak
+    assert time.perf_counter() - t0 < WALL_BUDGET
+
+
+def test_deep_random_tree_end_to_end():
+    depth = 500_000
+    t0 = time.perf_counter()
+    at = huge_instance("caterpillar", MILLION, seed=2, depth=depth)
+    assert at.n == MILLION
+    assert at.depth() == depth
+
+    memory = max(at.min_feasible_memory(), min_peak_memory(at) - 1)
+    result = postorder_min_io(at, memory)
+    sim = simulate_fif(at, result.schedule, memory)
+    assert result.predicted_io == sim.io_volume
+    assert time.perf_counter() - t0 < WALL_BUDGET
+
+
+def test_nested_dissection_scale_with_real_io():
+    """A 10^6-node multifrontal-shaped tree with an actual I/O regime."""
+    t0 = time.perf_counter()
+    at = huge_instance("nd", MILLION, seed=3)
+    stats = tree_stats(at)
+    assert stats.n == MILLION
+    assert stats.io_regime_width > 0
+
+    memory = (stats.lb + stats.peak_incore - 1) // 2
+    result = postorder_min_io(at, memory)
+    sim = simulate_fif(at, result.schedule, memory)
+    assert result.predicted_io == sim.io_volume
+    assert sim.io_volume > 0  # the bound actually forces evictions
+    assert postorder_min_mem(at).peak_memory == stats.peak_incore
+    assert time.perf_counter() - t0 < WALL_BUDGET

@@ -1,0 +1,232 @@
+"""One test per recursion site found by the deep-tree audit.
+
+Every algorithm whose natural formulation recurses per node has been
+converted to an explicit stack (or hard-guarded where conversion makes
+no sense because the search is exponential anyway).  Each converted site
+gets two checks: the deep instance that used to die with
+``RecursionError``, and an order/result-equivalence check against a
+reference recursive formulation on small instances, so the conversion
+provably changed *nothing* but the stack discipline.
+
+The deep runs execute under a deliberately *lowered* recursion limit —
+if anything still recurses per node, the test fails immediately instead
+of depending on interpreter defaults.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from itertools import permutations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.algorithms.brute_force import iter_postorders, iter_topological_orders
+from repro.algorithms.exact import MAX_EXACT_NODES, exact_min_io
+from repro.algorithms.integral_io import (
+    min_whole_node_io_given_schedule,
+    whole_node_fif,
+)
+from repro.core.tree import TaskTree, chain_tree
+from repro.datasets.nested_dissection import nested_dissection_ordering
+
+
+@contextmanager
+def low_recursion_limit(limit: int = 170):
+    """Prove iterativeness: per-node recursion dies instantly under this."""
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+DEEP = 3000  # far beyond any recursion limit we set
+
+
+# ----------------------------------------------------------------------
+# integral_io._feasible_eviction_exact (the issue's named example)
+# ----------------------------------------------------------------------
+class TestIntegralIOWalk:
+    def test_deep_chain_exact_eviction(self):
+        tree = chain_tree([1] * DEEP)
+        schedule = list(range(DEEP - 1, -1, -1))  # leaf up to the root
+        with low_recursion_limit():
+            result = min_whole_node_io_given_schedule(tree, schedule, memory=2)
+        assert result.io_volume == 0
+
+    def test_deep_chain_with_forced_evictions(self):
+        # Alternating weights force whole-node decisions along the chain.
+        weights = [2 if i % 2 else 1 for i in range(400)]
+        tree = chain_tree(weights)
+        schedule = list(range(399, -1, -1))
+        with low_recursion_limit():
+            exact = min_whole_node_io_given_schedule(tree, schedule, memory=4)
+        greedy = whole_node_fif(tree, schedule, memory=4)
+        assert 0 <= exact.io_volume <= greedy.io_volume
+
+    def test_matches_recursive_reference_on_small_trees(self):
+        def reference(tree, schedule, memory):
+            """The original recursive formulation, verbatim."""
+            weights, children = tree.weights, tree.children
+            pos = {v: t for t, v in enumerate(schedule)}
+            windows = {}
+            for v in schedule:
+                p = tree.parents[v]
+                death = pos.get(p, len(schedule))
+                if death > pos[v] + 1 or p == -1:
+                    windows[v] = (pos[v], death)
+            best = [float("inf"), frozenset()]
+
+            def walk(t, evicted, cost):
+                if cost >= best[0]:
+                    return
+                if t == len(schedule):
+                    best[0], best[1] = cost, evicted
+                    return
+                v = schedule[t]
+                wbar_v = max(weights[v], sum(weights[c] for c in children[v]))
+                active = [
+                    k
+                    for k, (birth, death) in windows.items()
+                    if birth < t < death and k not in evicted and weights[k] > 0
+                ]
+                if wbar_v + sum(weights[k] for k in active) <= memory:
+                    walk(t + 1, evicted, cost)
+                    return
+                if wbar_v > memory or not active:
+                    return
+                for k in active:
+                    walk(t, evicted | {k}, cost + weights[k])
+
+            walk(0, frozenset(), 0)
+            return int(best[0]), best[1]
+
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            n = int(rng.integers(2, 9))
+            parents = [-1] + [int(rng.integers(0, i)) for i in range(1, n)]
+            weights = [int(w) for w in rng.integers(1, 6, size=n)]
+            tree = TaskTree(parents, weights)
+            schedule = tree.postorder()
+            memory = int(max(tree.wbar)) + int(rng.integers(0, 6))
+            got = min_whole_node_io_given_schedule(tree, schedule, memory)
+            want_cost, want_set = reference(tree, schedule, memory)
+            assert got.io_volume == want_cost
+            assert got.evicted == want_set  # same tie-break, not just cost
+
+
+# ----------------------------------------------------------------------
+# brute_force.iter_topological_orders / iter_postorders
+# ----------------------------------------------------------------------
+class TestBruteForceEnumerators:
+    def test_deep_chain_single_topological_order(self):
+        tree = chain_tree([1] * DEEP)
+        with low_recursion_limit():
+            orders = list(iter_topological_orders(tree))
+        assert orders == [list(range(DEEP - 1, -1, -1))]
+
+    def test_deep_chain_single_postorder(self):
+        tree = chain_tree([1] * DEEP)
+        with low_recursion_limit():
+            orders = list(iter_postorders(tree))
+        assert orders == [list(range(DEEP - 1, -1, -1))]
+
+    def test_enumeration_order_matches_recursive_reference(self):
+        def ref_topological(tree):
+            remaining = [len(c) for c in tree.children]
+            available = [v for v in range(tree.n) if remaining[v] == 0]
+            prefix = []
+
+            def backtrack():
+                if len(prefix) == tree.n:
+                    yield list(prefix)
+                    return
+                for i in range(len(available)):
+                    v = available[i]
+                    available[i] = available[-1]
+                    available.pop()
+                    prefix.append(v)
+                    p = tree.parents[v]
+                    activated = False
+                    if p != -1:
+                        remaining[p] -= 1
+                        if remaining[p] == 0:
+                            available.append(p)
+                            activated = True
+                    yield from backtrack()
+                    if activated:
+                        available.pop()
+                    if p != -1:
+                        remaining[p] += 1
+                    prefix.pop()
+                    available.append(v)
+                    available[i], available[-1] = available[-1], available[i]
+
+            yield from backtrack()
+
+        def ref_postorders(tree):
+            def orders(v):
+                kids = tree.children[v]
+                if not kids:
+                    yield [v]
+                    return
+                child_lists = [list(orders(c)) for c in kids]
+                for perm in permutations(range(len(kids))):
+                    stack = [[]]
+                    for idx in perm:
+                        stack = [a + s for a in stack for s in child_lists[idx]]
+                    for acc in stack:
+                        yield acc + [v]
+
+            yield from orders(tree.root)
+
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            n = int(rng.integers(1, 8))
+            parents = [-1] + [int(rng.integers(0, i)) for i in range(1, n)]
+            tree = TaskTree(parents, [1] * n)
+            assert list(iter_topological_orders(tree)) == list(ref_topological(tree))
+            assert list(iter_postorders(tree)) == list(ref_postorders(tree))
+
+
+# ----------------------------------------------------------------------
+# nested_dissection.dissect
+# ----------------------------------------------------------------------
+class TestNestedDissection:
+    def test_long_path_graph_under_low_recursion_limit(self):
+        n = 2000
+        diag = np.ones(n - 1)
+        a = sp.diags([diag, diag], [-1, 1], format="csr")
+        with low_recursion_limit():
+            order = nested_dissection_ordering(a)
+        assert sorted(order.tolist()) == list(range(n))
+
+    def test_deterministic_and_separator_last(self):
+        n = 257
+        diag = np.ones(n - 1)
+        a = sp.diags([diag, diag], [-1, 1], format="csr")
+        first = nested_dissection_ordering(a).tolist()
+        second = nested_dissection_ordering(a).tolist()
+        assert first == second
+        # The top separator of a path is ordered last and sits mid-path.
+        assert n // 4 <= first[-1] <= 3 * n // 4
+
+
+# ----------------------------------------------------------------------
+# exact.exact_min_io (guarded, not converted: exponential search)
+# ----------------------------------------------------------------------
+class TestExactGuard:
+    def test_hard_ceiling_refuses_before_recursion_could_die(self):
+        n = MAX_EXACT_NODES + 100
+        tree = chain_tree([1] * n)
+        with pytest.raises(ValueError, match="hard ceiling"):
+            exact_min_io(tree, memory=2, node_limit=n + 1)
+
+    def test_node_limit_error_still_first(self):
+        tree = chain_tree([1] * 30)
+        with pytest.raises(ValueError, match="node_limit"):
+            exact_min_io(tree, memory=2, node_limit=10)
