@@ -147,3 +147,98 @@ def test_service_throughput_and_latency(tmp_path, batch_jobs, emit):
         f"warm-cache replay should beat cold compute, got {gains}"
     )
     emit("service_throughput", "\n".join(lines))
+
+
+# --------------------------------------------------------------------- #
+# large-batch burst: 1k small trees through the shared-memory transport
+# --------------------------------------------------------------------- #
+
+BURST_TREES = 1_000
+BURST_NODES = 512
+BURST_CLIENTS = 32
+
+
+def _burst_requests() -> list[dict]:
+    """1 000 distinct small solve requests (the many-small-trees shape)."""
+    requests: list[dict] = []
+    seed = 500_000
+    while len(requests) < BURST_TREES:
+        tree = synth_instance(BURST_NODES, seed=seed)
+        seed += 1
+        bounds = memory_bounds(tree)
+        if not bounds.has_io_regime:
+            continue
+        requests.append(
+            {
+                "kind": "solve",
+                "tree": tree.to_dict(),
+                "memory": bounds.mid,
+                "algorithm": "PostOrderMinIO",
+            }
+        )
+    return requests
+
+
+def test_large_batch_burst_over_shared_memory(batch_jobs, emit):
+    """1k-tree submit bursts: the forest transport vs pickled payloads.
+
+    What must hold: with large micro-batches and {BURST_CLIENTS}
+    concurrent clients the service drops **zero** requests on either
+    transport, both transports return identical results, and the
+    shared-memory path's envelopes match the offline solver exactly.
+    Throughput of both transports is reported side by side.
+    """
+    requests = _burst_requests()
+    probe = requests[0]
+    offline = get_algorithm(probe["algorithm"])(
+        TaskTree(probe["tree"]["parents"], probe["tree"]["weights"]),
+        probe["memory"],
+    )
+    lines = [
+        f"workers={batch_jobs} clients={BURST_CLIENTS} "
+        f"requests={BURST_TREES} tree_nodes={BURST_NODES} max_batch=64",
+        f"{'transport':>10} {'elapsed':>9} {'trees/s':>9} "
+        f"{'p50 ms':>8} {'p99 ms':>8}",
+    ]
+    throughput = {}
+    for transport in ("shm", "pickle"):
+        config = ServerConfig(
+            port=0,
+            workers=batch_jobs,
+            queue_limit=max(64, 4 * BURST_CLIENTS),
+            max_batch=64,
+            batch_window_ms=2.0,
+            shm_transport=(transport == "shm"),
+            shm_min_nodes=0,  # every batch rides the segment in shm mode
+        )
+        with ServerThread(config) as server:
+            assert server.server.pool.shm_transport == (transport == "shm")
+            server.server.pool.warm_up()
+            client = ServiceClient(port=server.port)
+            assert client.wait_ready(30)
+            elapsed, latencies, errors = _drive(
+                server.port, BURST_CLIENTS, requests
+            )
+            assert not errors, (
+                f"{transport}: dropped {len(errors)} of {BURST_TREES} "
+                f"burst requests: {errors[:3]}"
+            )
+            assert len(latencies) == BURST_TREES
+            served = client.submit(probe)["result"]
+            assert served["io_volume"] == offline.io_volume
+            assert served["schedule"] == list(offline.schedule)
+            metrics = client.metrics()
+            assert metrics["requests"]["rejected"] == 0
+            if transport == "shm":
+                assert server.server.pool.shm_batches > 0
+            throughput[transport] = BURST_TREES / elapsed
+            lines.append(
+                f"{transport:>10} {elapsed:>8.2f}s {BURST_TREES / elapsed:>9,.0f} "
+                f"{_percentile(latencies, 0.50) * 1e3:>8.1f} "
+                f"{_percentile(latencies, 0.99) * 1e3:>8.1f}"
+            )
+    lines.append(
+        f"shm/pickle throughput ratio: "
+        f"{throughput['shm'] / throughput['pickle']:.2f}x"
+    )
+    emit("service_large_batch", "\n".join(lines))

@@ -239,7 +239,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
             return 2
         cache = ResultCache(cache_dir)
     report = run_batch_report(
-        args.scale, jobs=args.jobs, cache=cache, engine=args.engine, progress=print
+        args.scale,
+        jobs=args.jobs,
+        cache=cache,
+        engine=args.engine,
+        forest=args.forest,
+        progress=print,
     )
     json_path = outdir / f"experiments_{args.scale}.json"
     json_path.write_text(report.to_json())
@@ -295,6 +300,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         request_timeout=args.timeout,
         cache_dir=cache_dir,
+        shm_transport=args.forest,
     )
     server = ServiceServer(config)
     server.pool.warm_up()
@@ -489,6 +495,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="auto", choices=ENGINES,
         help="kernel engine for the figure shards (results are identical)",
     )
+    p.add_argument(
+        "--forest", dest="forest", action="store_true", default=True,
+        help="solve shards through the forest batch kernels (default)",
+    )
+    p.add_argument(
+        "--no-forest", dest="forest", action="store_false",
+        help="dispatch the per-tree engine for every instance instead",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("instance", help="run strategies on a paper instance")
@@ -535,6 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", default="auto", choices=ENGINES,
         help="default kernel engine for requests that do not pin one",
+    )
+    p.add_argument(
+        "--forest", dest="forest", action="store_true", default=True,
+        help="ship micro-batches to workers as shared-memory forest "
+             "buffers (default; ignored in inline mode)",
+    )
+    p.add_argument(
+        "--no-forest", dest="forest", action="store_false",
+        help="pickle micro-batch payloads to workers instead",
     )
     p.set_defaults(func=_cmd_serve)
 

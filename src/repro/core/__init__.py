@@ -7,6 +7,7 @@ object engine (per-node Python structures) and the flat-array engine
 """
 
 from .arraytree import ArrayTree, as_array_tree
+from .forest import ArrayForest
 from .engine import (
     ENGINES,
     default_engine,
@@ -33,6 +34,7 @@ __all__ = [
     "TreeError",
     "ArrayTree",
     "as_array_tree",
+    "ArrayForest",
     "ENGINES",
     "default_engine",
     "engine_scope",

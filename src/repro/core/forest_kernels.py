@@ -1,0 +1,439 @@
+"""Whole-forest sweeps of the hot algorithms over :class:`ArrayForest`.
+
+Each function runs one kernel across every member of a forest in a
+tight loop: the concatenated columns are converted to plain lists once
+(cached on the forest), each tree's slice is cut out with C-level list
+slicing, and the **same list-based cores** that power the per-tree
+array engine (:mod:`repro.core.kernels`) do the actual work.  Per-tree
+results are therefore byte-identical to ``kernels.best_postorder`` /
+``liu_peak`` / ``liu_schedule`` / ``simulate_fif`` on the member trees —
+one implementation, enforced by the forest property test
+(``tests/test_forest.py``) on top of the engine cross-validation
+harness.
+
+What the batching buys (vs. dispatching the per-tree engine once per
+tree): no per-tree ``TaskTree``/``ArrayTree`` construction, no per-tree
+numpy fixed costs, no per-call buffer materialisation — only the
+irreducible algorithm loops remain.  Truly vectorisable passes run as
+single numpy reductions over the whole forest
+(:func:`forest_lower_bounds`); the DP kernels keep their exact
+tie-breaking semantics, which rules out cross-node vectorisation.
+
+``memories`` arguments accept ``None`` (unbounded), one int for the
+whole forest, or one value per tree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .forest import ArrayForest
+from .kernels import (
+    best_postorder_core,
+    flatten_rope,
+    liu_peak_core,
+    liu_segments_core,
+    simulate_fif_core,
+)
+from .traversal import Traversal
+
+__all__ = [
+    "FOREST_STRATEGIES",
+    "forest_lower_bounds",
+    "forest_min_peaks",
+    "forest_memory_bounds",
+    "forest_best_postorders",
+    "forest_opt_min_mem",
+    "forest_simulate_fif",
+    "forest_traversals",
+]
+
+#: registry strategies with a whole-forest implementation (the kernel
+#: trio; RecExpand-style expansion heuristics stay per-tree).
+FOREST_STRATEGIES = ("OptMinMem", "PostOrderMinIO", "PostOrderMinMem")
+
+
+def _memory_list(memories, n_trees: int) -> list:
+    if memories is None or isinstance(memories, (int, np.integer)):
+        return [memories] * n_trees
+    memories = list(memories)
+    if len(memories) != n_trees:
+        raise ValueError(
+            f"{len(memories)} memory bounds for {n_trees} trees"
+        )
+    return memories
+
+
+def forest_lower_bounds(forest: ArrayForest) -> list[int]:
+    """``LB = max_i wbar_i`` of every tree — one numpy reduction."""
+    if forest.n_trees == 0:
+        return []
+    off = forest.offsets
+    return np.maximum.reduceat(forest._wbar, off[:-1]).tolist()
+
+
+def forest_min_peaks(forest: ArrayForest) -> list[int]:
+    """``Peak_incore`` (Liu's optimum) of every tree."""
+    off, _p, w, _wb, topo, cs, ci = forest._as_lists()
+    out = []
+    push = out.append
+    for k in range(forest.n_trees):
+        a = off[k]
+        b = off[k + 1]
+        push(
+            liu_peak_core(
+                b - a,
+                w[a:b],
+                cs[a + k : b + k + 1],
+                ci[a - k : b - (k + 1)],
+                topo[a:b],
+            )
+        )
+    return out
+
+
+def forest_memory_bounds(forest: ArrayForest) -> list[tuple[int, int]]:
+    """``(LB, Peak_incore)`` per tree — the experiment-framing interval."""
+    return list(zip(forest_lower_bounds(forest), forest_min_peaks(forest)))
+
+
+#: vectorised-path guards: below this many trees the batch cannot
+#: amortise the fixed numpy costs, and beyond this depth the one-pass-
+#:per-level schedule would degenerate on chain-shaped forests.
+_VECTOR_MIN_TREES = 4
+_VECTOR_MAX_DEPTH = 4096
+
+
+def forest_best_postorders(
+    forest: ArrayForest, memories=None, *, vectorize: bool | None = None
+) -> list[tuple[list[int], list[int], list[int]]]:
+    """:func:`~repro.core.kernels.best_postorder` across the forest.
+
+    ``memories=None`` is the MinMem variant everywhere; otherwise MinIO
+    under the given bound(s).  Returns per-tree ``(schedule, storage,
+    vio)`` with node ids local to each tree.
+
+    Two exactly-equivalent implementations back this: the per-tree list
+    cores, and a **level-synchronous vectorised engine** that runs
+    Liu's DP over all trees at once — one numpy pass per depth level,
+    child orderings realised by a single ``lexsort`` whose
+    ``(-key, id)`` keys reproduce the scalar tie-break bit for bit.
+    ``vectorize=None`` picks automatically (vectorised for batches of
+    shallow-enough trees); forcing either value is for tests and
+    benchmarks only.
+    """
+    n_trees = forest.n_trees
+    if n_trees == 0:
+        return []
+    mems = _memory_list(memories, n_trees)
+    mixed_none = memories is not None and any(m is None for m in mems)
+    if vectorize is None:
+        vectorize = (
+            not mixed_none
+            and n_trees >= _VECTOR_MIN_TREES
+            and forest.max_depth() <= _VECTOR_MAX_DEPTH
+        )
+    elif vectorize and mixed_none:
+        raise ValueError(
+            "the vectorised engine needs one mode for the whole forest; "
+            "mixed per-tree None/int memories run on the loop path"
+        )
+    if vectorize:
+        schedule, storage, vio = _best_postorders_vector(
+            forest, None if memories is None else mems
+        )
+        off_l = forest._offsets.tolist()
+        sched_l = schedule.tolist()
+        storage_l = storage.tolist()
+        vio_l = vio.tolist()
+        return [
+            (sched_l[a:b], storage_l[a:b], vio_l[a:b])
+            for a, b in zip(off_l, off_l[1:])
+        ]
+    off, _p, w, _wb, topo, cs, ci = forest._as_lists()
+    out = []
+    push = out.append
+    for k in range(n_trees):
+        a = off[k]
+        b = off[k + 1]
+        push(
+            best_postorder_core(
+                b - a,
+                w[a:b],
+                cs[a + k : b + k + 1],
+                ci[a - k : b - (k + 1)],  # fresh slice: core reorders it
+                topo[a:b],
+                mems[k],
+            )
+        )
+    return out
+
+
+def forest_best_postorders_flat(
+    forest: ArrayForest,
+    memories=None,
+    *,
+    vectorize: bool | None = None,
+    schedules: bool = True,
+):
+    """:func:`forest_best_postorders` in the forest's native flat form.
+
+    Returns ``(schedule, storage, vio)`` as int64 numpy columns over
+    the concatenated node space (slice with ``forest.offsets``) —
+    element-wise equal to the per-tree lists, without materialising one
+    Python list per tree.  ``schedules=False`` skips the emission sweep
+    entirely (``schedule`` comes back ``None``): the cheapest way to
+    batch-compute peaks (``storage``) and I/O volumes (``vio``).
+    """
+    n_trees = forest.n_trees
+    mems = _memory_list(memories, n_trees)
+    mixed_none = memories is not None and any(m is None for m in mems)
+    if vectorize is None:
+        vectorize = (
+            not mixed_none
+            and n_trees >= _VECTOR_MIN_TREES
+            and forest.max_depth() <= _VECTOR_MAX_DEPTH
+        )
+    if n_trees and vectorize and not mixed_none:
+        return _best_postorders_vector(
+            forest, None if memories is None else mems, schedules=schedules
+        )
+    per_tree = forest_best_postorders(forest, memories, vectorize=False)
+    schedule = np.array(
+        [v for s, _st, _v in per_tree for v in s], dtype=np.int64
+    )
+    storage = np.array(
+        [v for _s, st, _v in per_tree for v in st], dtype=np.int64
+    )
+    vio = np.array(
+        [v for _s, _st, vi in per_tree for v in vi], dtype=np.int64
+    )
+    return (schedule if schedules else None), storage, vio
+
+
+def _order_level(ch, key, starts, grp, counts, max_arity, multi):
+    """Sort a level's child groups by ``(-key, id)``, exactly.
+
+    ``max_arity == 1`` needs no work; all-binary levels resolve with one
+    vectorised conditional swap (the scalar core's two-child rule, which
+    equals the full sort); anything wider sorts only the edges of
+    multi-child groups (``multi``, precomputed on the level cache —
+    singleton groups are already ordered) with one stable ``lexsort``.
+    The ascending-id tie-break costs nothing: ``ch`` arrives in CSR
+    order (ascending ids within each group) and the stable sort keeps
+    that order on equal keys — bit for bit the scalar core's
+    ``(-key, id)`` rule.
+    """
+    if max_arity == 1:
+        return ch
+    if max_arity == 2:
+        kc = key[ch]
+        firsts = starts[counts == 2]
+        swap = firsts[kc[firsts + 1] > kc[firsts]]
+        if swap.size:
+            ch = ch.copy()
+            ch[swap], ch[swap + 1] = ch[swap + 1], ch[swap]
+        return ch
+    sub = ch[multi]
+    order = np.lexsort((-key[sub], grp[multi]))
+    ch = ch.copy()
+    ch[multi] = sub[order]
+    return ch
+
+
+def _best_postorders_vector(forest: ArrayForest, mems, *, schedules=True):
+    """The level-synchronous engine behind :func:`forest_best_postorders`.
+
+    Processes depth levels bottom-up: within a level, every node's
+    children are ordered by :func:`_order_level` and the ``S_i``/``A_i``
+    prefix recursions become segmented cumulative sums plus ``reduceat``
+    maxima — integer-exact, same tie-breaking as the scalar core.  The
+    schedule then falls out of one *global* pass: a node's block start
+    is the path-sum of its earlier-siblings' subtree sizes, accumulated
+    root-to-node by pointer doubling — the same contiguous-block
+    emission rule the scalar core applies one node at a time.
+    """
+    off = forest._offsets
+    total = forest.total_nodes
+    gcs, gci, gpar, base, tree_of = forest._globals()
+    levels = forest._levels()
+    w = forest._weights
+    minmem = mems is None
+    if not minmem:
+        M = np.asarray(mems, dtype=np.int64)[tree_of]
+
+    storage = np.zeros(total, dtype=np.int64)
+    key = np.zeros(total, dtype=np.int64)
+    vio = np.zeros(total, dtype=np.int64)
+    if schedules:
+        ordered = np.array(gci)  # reordered level by level, like the core
+
+    cnt_all = gcs[1:] - gcs[:total]
+    leaves = cnt_all == 0
+    storage[leaves] = w[leaves]
+    if not minmem:
+        key[leaves] = np.minimum(w[leaves], M[leaves]) - w[leaves]
+
+    for level in reversed(levels):
+        if level is None:
+            continue
+        idx, eidx, starts, grp, counts, max_arity, multi = level
+        chs = _order_level(gci[eidx], key, starts, grp, counts, max_arity, multi)
+        if schedules:
+            ordered[eidx] = chs
+
+        sc = storage[chs]
+        if max_arity == 1:
+            peak = np.maximum(w[idx], sc)
+            storage[idx] = peak
+            if minmem:
+                key[idx] = peak - w[idx]
+            else:
+                m_idx = M[idx]
+                vio[idx] = vio[chs]  # min(M, S_c) <= M: no new I/O at idx
+                key[idx] = np.minimum(peak, m_idx) - w[idx]
+            continue
+        wc = w[chs]
+        excl = np.cumsum(wc) - wc
+        prefix = excl - np.repeat(excl[starts], counts)
+        peak = np.maximum(
+            w[idx], np.maximum.reduceat(sc + prefix, starts)
+        )
+        storage[idx] = peak
+        if minmem:
+            key[idx] = peak - w[idx]
+        else:
+            m_idx = M[idx]
+            worst = np.maximum.reduceat(
+                np.minimum(sc, np.repeat(m_idx, counts)) + prefix, starts
+            )
+            over = np.maximum(worst - m_idx, 0)
+            vio[idx] = over + np.add.reduceat(vio[chs], starts)
+            key[idx] = np.minimum(peak, m_idx) - w[idx]
+
+    if not schedules:
+        return None, storage, vio
+
+    # Emission, globally: with subtree blocks contiguous and every node
+    # closing its own block, a node's block *start* is the sum of its
+    # earlier (sorted) siblings' sizes accumulated along the root path.
+    # Per-edge sibling prefixes are one segmented cumsum over the sorted
+    # CSR; the root-path accumulation is pointer doubling — log₂ rounds,
+    # no per-level work at all.
+    size = forest._subtree_sizes()
+    internal = np.flatnonzero(~leaves)
+    szs = size[ordered]
+    excl = np.cumsum(szs) - szs
+    contrib = np.zeros(total, dtype=np.int64)
+    contrib[ordered] = excl - np.repeat(excl[gcs[internal]], cnt_all[internal])
+    ids = np.arange(total, dtype=np.int64)
+    jump = np.where(gpar < 0, ids, gpar)
+    block_start = contrib
+    for _ in range(max(1, len(levels) - 1).bit_length()):
+        block_start = block_start + block_start[jump]
+        jump = jump[jump]
+
+    schedule = np.empty(total, dtype=np.int64)
+    schedule[base + block_start + size - 1] = ids - base
+    return schedule, storage, vio
+
+
+def forest_opt_min_mem(
+    forest: ArrayForest,
+) -> list[tuple[list[int], int]]:
+    """``OPTMINMEM`` (schedule, peak) of every tree (Liu's segment solver)."""
+    off, _p, w, _wb, topo, cs, ci = forest._as_lists()
+    out = []
+    push = out.append
+    for k in range(forest.n_trees):
+        a = off[k]
+        b = off[k + 1]
+        segs = liu_segments_core(
+            b - a,
+            w[a:b],
+            cs[a + k : b + k + 1],
+            ci[a - k : b - (k + 1)],
+            topo[a:b],
+        )
+        schedule: list[int] = []
+        for _hill, _valley, nodes in segs:
+            flatten_rope(nodes, schedule)
+        push((schedule, segs[0][0]))
+    return out
+
+
+def forest_simulate_fif(
+    forest: ArrayForest,
+    schedules: Sequence[Sequence[int]],
+    memories=None,
+) -> list[tuple[dict[int, int], int, int]]:
+    """FiF-simulate one full-tree schedule per member.
+
+    Returns per-tree ``(io, io_volume, peak_memory)`` exactly like the
+    flat :func:`~repro.core.kernels.simulate_fif` kernel (and raises
+    :class:`~repro.core.simulator.InfeasibleSchedule` where it would).
+    """
+    if len(schedules) != forest.n_trees:
+        raise ValueError(
+            f"{len(schedules)} schedules for {forest.n_trees} trees"
+        )
+    mems = _memory_list(memories, forest.n_trees)
+    off, p, w, wb, _topo, cs, ci = forest._as_lists()
+    out = []
+    push = out.append
+    for k in range(forest.n_trees):
+        a = off[k]
+        b = off[k + 1]
+        n = b - a
+        if len(schedules[k]) != n:
+            raise ValueError("flat FiF kernel needs a full-tree schedule")
+        push(
+            simulate_fif_core(
+                n,
+                w[a:b],
+                p[a:b],
+                cs[a + k : b + k + 1],
+                ci[a - k : b - (k + 1)],
+                wb[a:b],
+                schedules[k],
+                mems[k],
+            )
+        )
+    return out
+
+
+def forest_traversals(
+    forest: ArrayForest, algorithm: str, memories
+) -> list[Traversal]:
+    """One registry strategy + its FiF I/O function across the forest.
+
+    Mirrors :mod:`repro.experiments.registry` exactly for the strategies
+    in :data:`FOREST_STRATEGIES`: the named scheduler produces each
+    tree's order, FiF under the tree's memory bound derives the I/O
+    function, and the pair is packaged as a dense
+    :class:`~repro.core.traversal.Traversal` — byte-identical to
+    ``get_algorithm(algorithm)(tree, memory)``.
+    """
+    mems = _memory_list(memories, forest.n_trees)
+    if algorithm == "OptMinMem":
+        schedules = [s for s, _peak in forest_opt_min_mem(forest)]
+    elif algorithm == "PostOrderMinIO":
+        schedules = [s for s, _st, _v in forest_best_postorders(forest, mems)]
+    elif algorithm == "PostOrderMinMem":
+        schedules = [s for s, _st, _v in forest_best_postorders(forest, None)]
+    else:
+        raise KeyError(
+            f"no forest kernel for {algorithm!r}; available: "
+            f"{FOREST_STRATEGIES}"
+        )
+    sims = forest_simulate_fif(forest, schedules, mems)
+    sizes = forest.sizes().tolist()
+    return [
+        Traversal(
+            tuple(schedule),
+            tuple(io.get(v, 0) for v in range(n)),
+        )
+        for schedule, (io, _vol, _peak), n in zip(schedules, sims, sizes)
+    ]

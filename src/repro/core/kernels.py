@@ -23,6 +23,14 @@ realised by sorting slices of one flat buffer.
 The modules under :mod:`repro.algorithms` wrap these cores behind the
 public APIs; use those entry points unless you are holding an
 ``ArrayTree`` already.
+
+Every algorithm is split into a ``*_core`` function operating on plain
+Python lists (node ids local to one tree) and a thin ``ArrayTree``
+wrapper that materialises the lists.  The cores are the single
+implementation shared with the forest layer
+(:mod:`repro.core.forest_kernels`), which slices the same lists out of
+concatenated many-tree buffers — one implementation, so the per-tree
+and batched paths can never diverge.
 """
 
 from __future__ import annotations
@@ -34,11 +42,15 @@ from .arraytree import ArrayTree
 
 __all__ = [
     "best_postorder",
+    "best_postorder_core",
     "flatten_rope",
     "liu_segments",
+    "liu_segments_core",
     "liu_schedule",
     "liu_peak",
+    "liu_peak_core",
     "simulate_fif",
+    "simulate_fif_core",
     "structure_stats",
 ]
 
@@ -56,17 +68,35 @@ def best_postorder(
     ``vio[v] = V_v`` (all zeros in MinMem mode) — the exact quantities
     of the object engine's ``_best_postorder``.
     """
-    n = at.n
-    weights = at._weights.tolist()
-    start = at._child_start.tolist()
-    ordered = at._child_index.tolist()  # reordered in place, slice by slice
+    return best_postorder_core(
+        at.n,
+        at._weights.tolist(),
+        at._child_start.tolist(),
+        at._child_index.tolist(),
+        at._topo.tolist(),
+        memory,
+    )
+
+
+def best_postorder_core(
+    n: int,
+    weights: list[int],
+    start: list[int],
+    ordered: list[int],
+    topo: list[int],
+    memory: int | None,
+) -> tuple[list[int], list[int], list[int]]:
+    """List-based engine of :func:`best_postorder` (local node ids).
+
+    ``ordered`` is the CSR child index and is reordered **in place**,
+    slice by slice — pass a fresh copy.
+    """
     storage = [0] * n
     key = [0] * n  # child-ranking key, filled once per finished subtree
     vio = [0] * n
     size = [1] * n  # subtree sizes, reused by the position-assignment pass
     key_get = key.__getitem__
     minmem = memory is None
-    topo = at._topo.tolist()
 
     for v in reversed(topo):
         s = start[v]
@@ -214,13 +244,26 @@ def liu_segments(at: ArrayTree) -> list[tuple[int, int, object]]:
     with plain tuples instead of ``Segment`` objects and per-node lists
     freed as soon as their parent has consumed them.
     """
-    n = at.n
-    weights = at._weights.tolist()
-    start = at._child_start.tolist()
-    cindex = at._child_index.tolist()
+    return liu_segments_core(
+        at.n,
+        at._weights.tolist(),
+        at._child_start.tolist(),
+        at._child_index.tolist(),
+        at._topo.tolist(),
+    )
+
+
+def liu_segments_core(
+    n: int,
+    weights: list[int],
+    start: list[int],
+    cindex: list[int],
+    topo: list[int],
+) -> list[tuple[int, int, object]]:
+    """List-based engine of :func:`liu_segments` (``topo[0]`` is the root)."""
     segs: list[list[tuple[int, int, object]] | None] = [None] * n
 
-    for v in reversed(at._topo.tolist()):
+    for v in reversed(topo):
         s = start[v]
         e = start[v + 1]
         w_v = weights[v]
@@ -294,7 +337,7 @@ def liu_segments(at: ArrayTree) -> list[tuple[int, int, object]]:
             nodes = (top_nodes, nodes)
         out.append((hill, w_v, nodes))
         segs[v] = out
-    return segs[at._root]
+    return segs[topo[0]]
 
 
 def liu_schedule(at: ArrayTree) -> tuple[list[int], int]:
@@ -308,13 +351,26 @@ def liu_schedule(at: ArrayTree) -> tuple[list[int], int]:
 
 def liu_peak(at: ArrayTree) -> int:
     """Minimum peak memory only — the rope-free fast path of the solver."""
-    n = at.n
-    weights = at._weights.tolist()
-    start = at._child_start.tolist()
-    cindex = at._child_index.tolist()
+    return liu_peak_core(
+        at.n,
+        at._weights.tolist(),
+        at._child_start.tolist(),
+        at._child_index.tolist(),
+        at._topo.tolist(),
+    )
+
+
+def liu_peak_core(
+    n: int,
+    weights: list[int],
+    start: list[int],
+    cindex: list[int],
+    topo: list[int],
+) -> int:
+    """List-based engine of :func:`liu_peak` (``topo[0]`` is the root)."""
     segs: list[list[tuple[int, int]] | None] = [None] * n
 
-    for v in reversed(at._topo.tolist()):
+    for v in reversed(topo):
         s = start[v]
         e = start[v + 1]
         w_v = weights[v]
@@ -362,7 +418,7 @@ def liu_peak(at: ArrayTree) -> int:
                 hill = top_hill
         out.append((hill, w_v))
         segs[v] = out
-    return segs[at._root][0][0]
+    return segs[topo[0]][0][0]
 
 
 # ----------------------------------------------------------------------
@@ -381,16 +437,33 @@ def simulate_fif(
     :class:`~repro.core.simulator.InfeasibleSchedule` exactly where the
     object simulator would.
     """
-    from .simulator import InfeasibleSchedule  # circular-safe: lazy
-
     n = at.n
     if len(schedule) != n:
         raise ValueError("flat FiF kernel needs a full-tree schedule")
-    weights = at._weights.tolist()
-    parents = at._parents.tolist()
-    start = at._child_start.tolist()
-    cindex = at._child_index.tolist()
-    wbar = at._wbar.tolist()  # precomputed at construction
+    return simulate_fif_core(
+        n,
+        at._weights.tolist(),
+        at._parents.tolist(),
+        at._child_start.tolist(),
+        at._child_index.tolist(),
+        at._wbar.tolist(),
+        schedule,
+        memory,
+    )
+
+
+def simulate_fif_core(
+    n: int,
+    weights: list[int],
+    parents: list[int],
+    start: list[int],
+    cindex: list[int],
+    wbar: list[int],
+    schedule: Sequence[int],
+    memory: int | None,
+) -> tuple[dict[int, int], int, int]:
+    """List-based engine of :func:`simulate_fif` (local node ids)."""
+    from .simulator import InfeasibleSchedule  # circular-safe: lazy
 
     pos = [0] * n
     t = 0

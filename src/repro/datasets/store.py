@@ -33,6 +33,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
+import numpy as np
+
 from ..core.tree import TaskTree
 
 __all__ = [
@@ -42,6 +44,8 @@ __all__ = [
     "iter_trees",
     "ResultCache",
     "cache_key",
+    "cache_key_buffers",
+    "canonical_json",
 ]
 
 
@@ -111,7 +115,19 @@ def load_trees(path: str | pathlib.Path) -> list[StoredTree]:
     return list(iter_trees(path))
 
 
-def cache_key(payload: Mapping[str, Any]) -> str:
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """The canonical JSON form every cache key hashes: sorted keys,
+    fixed separators — logically equal payloads serialise identically
+    regardless of insertion order.
+
+    Exposed so hot paths can canonicalise **once** and reuse the string
+    for both the key and any payload they persist, instead of
+    re-serialising million-element columns per use.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(payload: Mapping[str, Any], *, canonical: str | None = None) -> str:
     """Content-address a work unit: SHA-256 of its canonical JSON.
 
     Parameters
@@ -119,17 +135,73 @@ def cache_key(payload: Mapping[str, Any]) -> str:
     payload:
         A JSON-serialisable description of everything that determines the
         unit's *output* — tree parents/weights, memory bound, algorithm
-        names, scale, engine version.  Keys are sorted and separators
-        fixed so logically equal payloads hash identically regardless of
-        insertion order.
+        names, scale, engine version.
+    canonical:
+        The precomputed :func:`canonical_json` of ``payload``, if the
+        caller already has it (skips re-serialising large payloads).
 
     Returns
     -------
     str
         A 64-character lowercase hex digest, usable as a filename.
+
+    For payloads dominated by large integer columns prefer
+    :func:`cache_key_buffers`, which hashes the raw int64 buffers and
+    skips JSON entirely.
     """
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if canonical is None:
+        canonical = canonical_json(payload)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical_int64(values: Any) -> bytes:
+    """Canonical little-endian int64 bytes of an integer column.
+
+    Accepts anything :func:`numpy.asarray` can make an integer array of
+    — lists, tuples, ``array('q')``, numpy arrays — and produces
+    identical bytes for equal *values*, regardless of container type or
+    host byte order (so digests are portable across cache directories).
+    """
+    arr = np.asarray(values)
+    if arr.dtype != np.int64:
+        if arr.dtype == object or not (
+            np.issubdtype(arr.dtype, np.integer) or arr.size == 0
+        ):
+            raise TypeError(
+                f"buffer column must be integral, got dtype {arr.dtype}"
+            )
+        arr = arr.astype(np.int64)
+    return np.ascontiguousarray(arr).astype("<i8", copy=False).tobytes()
+
+
+def cache_key_buffers(
+    payload: Mapping[str, Any], buffers: Mapping[str, Any]
+) -> str:
+    """Content-address a unit whose identity is mostly integer columns.
+
+    ``payload`` carries the small JSON-able parameters (kind, engine
+    version, memory bound, algorithm names, ...); ``buffers`` maps
+    column names to integer sequences (tree parents/weights, forest
+    offsets).  The digest covers the canonical JSON of ``payload`` plus
+    every buffer's canonical little-endian int64 bytes, framed by name
+    and length so distinct column layouts can never collide.
+
+    Hashing buffers instead of JSON-marshalled lists is what makes
+    content-addressing cheap at forest scale: a million-node column is
+    one ``memcpy``-sized pass, not a million ``int``→decimal
+    conversions.  Equal values give equal digests no matter the
+    container (list, tuple, ``array``, numpy) on any host.
+    """
+    h = hashlib.sha256()
+    h.update(canonical_json(payload).encode("utf-8"))
+    for name in sorted(buffers):
+        data = _canonical_int64(buffers[name])
+        h.update(b"\x00")
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(len(data).to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
 
 
 class ResultCache:

@@ -36,14 +36,20 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from ..analysis.bounds import memory_bounds
+from ..analysis.bounds import MemoryBounds, memory_bounds
 from ..analysis.metrics import performance
 from ..analysis.profiles import build_profile
-from ..core.engine import engine_scope
+from ..core.engine import default_engine, engine_scope
+from ..core.forest import ArrayForest
+from ..core.forest_kernels import (
+    FOREST_STRATEGIES,
+    forest_memory_bounds,
+    forest_traversals,
+)
 from ..core.traversal import validate
-from ..core.tree import TaskTree
+from ..core.tree import TaskTree, TreeError
 from ..datasets import instances as paper_instances
-from ..datasets.store import ResultCache, cache_key
+from ..datasets.store import ResultCache, cache_key, cache_key_buffers
 from .datasets import Scale
 from .figures import FIGURE_SPECS, FigureResult, build_dataset
 from .registry import ALGORITHMS, get_algorithm
@@ -76,7 +82,9 @@ DEFAULT_SHARD_SIZE = 8
 #: bump when the result payload format changes; part of every cache key
 #: (batch work units *and* service requests — see :mod:`repro.service`)
 #: so stale entries from older engine versions can never be returned.
-ENGINE_VERSION = 1
+#: v2: keys are buffer digests (:func:`repro.datasets.store.cache_key_buffers`
+#: over the canonical int64 tree columns) instead of JSON-marshalled lists.
+ENGINE_VERSION = 2
 
 # Backwards-compatible alias; new code should use the public name.
 _ENGINE_VERSION = ENGINE_VERSION
@@ -134,10 +142,31 @@ class FigureShard:
     #: (the cross-validation harness enforces it), so a cached result
     #: serves every engine setting.
     engine: str = "auto"
+    #: solve the shard through the forest layer (one :class:`ArrayForest`
+    #: per shard) instead of dispatching per tree.  Also excluded from
+    #: the key — the forest kernels are byte-identical to the per-tree
+    #: engines, so a cached result serves both paths.
+    forest: bool = True
 
     def key(self) -> str:
-        """Content-address of this shard's inputs."""
-        return cache_key(
+        """Content-address of this shard's inputs.
+
+        A buffer digest over the concatenated tree columns — and
+        computed **once** per instance: the seed derivation, the cache
+        lookup and the cache write-back all reuse the same
+        canonicalisation instead of re-marshalling every tree per call.
+        """
+        cached = self.__dict__.get("_cached_key")
+        if cached is not None:
+            return cached
+        offsets = [0]
+        parents: list[int] = []
+        weights: list[int] = []
+        for p, w in self.trees:
+            parents.extend(p)
+            weights.extend(w)
+            offsets.append(len(parents))
+        key = cache_key_buffers(
             {
                 "kind": "figure-shard",
                 "version": _ENGINE_VERSION,
@@ -145,9 +174,11 @@ class FigureShard:
                 "scale": self.scale,
                 "bound": self.bound,
                 "algorithms": list(self.algorithms),
-                "trees": [[list(p), list(w)] for p, w in self.trees],
-            }
+            },
+            {"offsets": offsets, "parents": parents, "weights": weights},
         )
+        object.__setattr__(self, "_cached_key", key)
+        return key
 
 
 @dataclass(frozen=True)
@@ -162,24 +193,28 @@ class CounterexampleUnit:
     algorithms: tuple[str, ...]
 
     def key(self) -> str:
-        """Content-address of this unit's inputs.
+        """Content-address of this unit's inputs (computed once).
 
         ``witness_io`` is part of the key because it is copied verbatim
         into the cached row: correcting a witness value in
         :mod:`repro.datasets.instances` must invalidate the entry.
         """
-        return cache_key(
+        cached = self.__dict__.get("_cached_key")
+        if cached is not None:
+            return cached
+        key = cache_key_buffers(
             {
                 "kind": "counterexample",
                 "version": _ENGINE_VERSION,
                 "name": self.name,
-                "parents": list(self.parents),
-                "weights": list(self.weights),
                 "memory": self.memory,
                 "witness_io": self.witness_io,
                 "algorithms": list(self.algorithms),
-            }
+            },
+            {"parents": self.parents, "weights": self.weights},
         )
+        object.__setattr__(self, "_cached_key", key)
+        return key
 
 
 def unit_seed(key: str) -> int:
@@ -201,6 +236,7 @@ def shard_figure(
     *,
     shard_size: int = DEFAULT_SHARD_SIZE,
     engine: str = "auto",
+    forest: bool = True,
 ) -> list[FigureShard]:
     """Cut one figure's instance list into contiguous shards.
 
@@ -225,11 +261,16 @@ def shard_figure(
             trees=tuple((t.parents, t.weights) for t in chunk),
             seed=0,
             engine=engine,
+            forest=forest,
         )
         # The seed is derived from the content address (which excludes the
         # seed field itself), so it is stable across runs and distinct
-        # across shards with different inputs.
-        shards.append(dataclasses.replace(shard, seed=_shard_seed(shard.key())))
+        # across shards with different inputs.  Carrying the key over to
+        # the reseeded instance keeps it one canonicalisation per shard.
+        key = shard.key()
+        shard = dataclasses.replace(shard, seed=_shard_seed(key))
+        object.__setattr__(shard, "_cached_key", key)
+        shards.append(shard)
     return shards
 
 
@@ -269,6 +310,15 @@ def run_shard(shard: FigureShard) -> dict[str, Any]:
     per-instance columns as a JSON-friendly payload — exactly what
     :func:`merge_shards` and the cache store.
 
+    With ``shard.forest`` set (the default) the shard solves through the
+    forest layer: one :class:`~repro.core.forest.ArrayForest` packs all
+    trees, the memory grid comes from one whole-forest bounds sweep, and
+    every kernel-backed strategy runs as a forest batch; strategies
+    without a forest kernel (the RecExpand family) fall back to per-tree
+    dispatch over the forest's member views.  Both paths produce
+    byte-identical payloads — pinning ``engine="object"`` (argument or
+    ``REPRO_ENGINE``) disables the forest path entirely.
+
     The process-global RNGs are seeded with the shard's content-derived
     seed first, so any strategy that draws global randomness (none of
     the paper's do, but :func:`~repro.experiments.registry.register_algorithm`
@@ -286,24 +336,69 @@ def run_shard(shard: FigureShard) -> dict[str, Any]:
     memories: list[int] = []
     sizes: list[int] = []
     with engine_scope(shard.engine):
-        for parents, weights in shard.trees:
-            tree = TaskTree(parents, weights)
-            bounds = memory_bounds(tree)
-            if not bounds.has_io_regime:
-                continue
-            memory = bounds.grid()[shard.bound]
-            memories.append(memory)
-            sizes.append(tree.n)
-            for a in shard.algorithms:
-                traversal = get_algorithm(a)(tree, memory)
-                validate(tree, traversal, memory)
-                io[a].append(traversal.io_volume)
+        forest = None
+        if shard.forest and default_engine() != "object":
+            try:
+                forest = ArrayForest.from_pairs(shard.trees)
+            except TreeError:
+                # beyond the forest's int64 budgets (e.g. huge weights):
+                # the per-tree engines handle those, fall through
+                forest = None
+        if forest is not None:
+            _run_shard_forest(shard, forest, io, memories, sizes)
+        else:
+            for parents, weights in shard.trees:
+                tree = TaskTree(parents, weights)
+                bounds = memory_bounds(tree)
+                if not bounds.has_io_regime:
+                    continue
+                memory = bounds.grid()[shard.bound]
+                memories.append(memory)
+                sizes.append(tree.n)
+                for a in shard.algorithms:
+                    traversal = get_algorithm(a)(tree, memory)
+                    validate(tree, traversal, memory)
+                    io[a].append(traversal.io_volume)
     return {
         "io": {a: list(v) for a, v in io.items()},
         "memories": memories,
         "sizes": sizes,
         "seconds": time.perf_counter() - t0,
     }
+
+
+def _run_shard_forest(
+    shard: FigureShard,
+    forest: ArrayForest,
+    io: dict[str, list[int]],
+    memories: list[int],
+    sizes: list[int],
+) -> None:
+    """The forest execution path of :func:`run_shard` (same columns out)."""
+    bounds = [
+        MemoryBounds(lb=lb, peak_incore=peak)
+        for lb, peak in forest_memory_bounds(forest)
+    ]
+    keep = [k for k, b in enumerate(bounds) if b.has_io_regime]
+    if not keep:
+        return
+    mems = [bounds[k].grid()[shard.bound] for k in keep]
+    trees = [forest.tree(k) for k in keep]
+    memories.extend(mems)
+    sizes.extend(t.n for t in trees)
+    kept_forest = ArrayForest.from_trees(trees)
+    for a in shard.algorithms:
+        if a in FOREST_STRATEGIES:
+            for tree, memory, traversal in zip(
+                trees, mems, forest_traversals(kept_forest, a, mems)
+            ):
+                validate(tree, traversal, memory)
+                io[a].append(traversal.io_volume)
+        else:
+            for tree, memory in zip(trees, mems):
+                traversal = get_algorithm(a)(tree, memory)
+                validate(tree, traversal, memory)
+                io[a].append(traversal.io_volume)
 
 
 def run_counterexample_unit(unit: CounterexampleUnit) -> dict[str, Any]:
@@ -462,6 +557,7 @@ def run_batch_figures(
     stats: BatchStats | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
     engine: str = "auto",
+    forest: bool = True,
     progress: Callable[[str], None] | None = None,
 ) -> dict[str, Any]:
     """Regenerate the requested figures through the sharded engine.
@@ -481,7 +577,9 @@ def run_batch_figures(
     # ``figure_ids or sorted(FIGURES)``.
     ids = list(figure_ids) if figure_ids else sorted(FIGURE_SPECS)
     by_figure: dict[str, list[FigureShard]] = {
-        fid: shard_figure(fid, scale, shard_size=shard_size, engine=engine)
+        fid: shard_figure(
+            fid, scale, shard_size=shard_size, engine=engine, forest=forest
+        )
         for fid in ids
     }
     flat: list[FigureShard] = [s for fid in ids for s in by_figure[fid]]
@@ -518,6 +616,7 @@ def run_batch_report(
     cache: ResultCache | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
     engine: str = "auto",
+    forest: bool = True,
     progress: Callable[[str], None] | None = None,
 ) -> "ExperimentReport":
     """The whole evaluation through the batch engine.
@@ -526,8 +625,9 @@ def run_batch_report(
     figures, same counterexamples, same summary values — with the
     ``batch`` provenance block (shard and cache counters) filled in.
     ``engine`` selects the kernel engine the figure shards run under
-    (``auto``/``object``/``array``; results are identical either way,
-    which is why it is not part of the cache keys).
+    (``auto``/``object``/``array``) and ``forest`` whether shards solve
+    through the forest layer; results are identical in every
+    combination, which is why neither is part of the cache keys.
     Returns an :class:`~repro.experiments.runner.ExperimentReport`.
     """
     from .runner import ExperimentReport
@@ -550,6 +650,7 @@ def run_batch_report(
         stats=stats,
         shard_size=shard_size,
         engine=engine,
+        forest=forest,
         progress=progress,
     )
     if cache is not None:

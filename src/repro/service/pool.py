@@ -17,25 +17,41 @@ One executor call carries one whole micro-batch (a single pickle
 round-trip instead of one per request); each request inside the batch is
 individually guarded, so one failing request yields one error envelope
 without poisoning its batch-mates.
+
+With process workers the trees themselves do not ride in that pickle at
+all: the pool packs every request's ``parents``/``weights`` columns into
+one :class:`~repro.core.forest.ArrayForest` wire buffer inside a
+``multiprocessing.shared_memory`` segment and ships only tiny
+``{"shm": index}`` markers.  Workers attach the segment, rebuild the
+forest (one vectorised validation for the whole batch) and slice each
+request's tree back out — zero pickling of element lists in either
+direction.  Inline thread mode (``jobs=0``) and environments without
+shared memory fall back to the plain pickle path transparently.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import random
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Mapping
 
+import numpy as np
+
 from ..algorithms.exact import exact_min_io
-from ..core.engine import engine_scope
+from ..core.arraytree import ArrayTree, _MAX_TOTAL_WEIGHT
+from ..core.engine import AUTO_THRESHOLD, engine_scope
+from ..core.forest import ArrayForest
 from ..core.traversal import InvalidTraversal, validate
 from ..core.simulator import InfeasibleSchedule
-from ..core.tree import TaskTree
+from ..core.tree import TaskTree, TreeError
 from ..experiments.batch import unit_seed
 from ..experiments.registry import PAPER_ALGORITHMS, get_algorithm
 from .protocol import (
     ExactRequest,
     PagingRequest,
+    ProtocolError,
     Request,
     SolveRequest,
     error_envelope,
@@ -45,17 +61,43 @@ from .protocol import (
 
 __all__ = [
     "WorkerPool",
+    "build_tree",
     "execute_payload",
     "execute_many",
+    "execute_many_shm",
     "run_solve",
     "run_paging",
     "run_exact",
 ]
 
 
-def run_solve(request: SolveRequest) -> dict[str, Any]:
+def build_tree(parents, weights):
+    """The tree object a request executes on.
+
+    Large requests go straight to :class:`~repro.core.arraytree.ArrayTree`
+    — vectorised construction, no per-node object graph, and the engine
+    dispatch then keeps every kernel on the flat path — instead of
+    paying for a ``TaskTree`` first and converting on each algorithm
+    call.  Small requests keep the object tree (below
+    :data:`~repro.core.engine.AUTO_THRESHOLD` the conversion overhead
+    outweighs the win), as do weights beyond int64.  Accepts Python
+    sequences or numpy columns (the shared-memory path).
+    """
+    if len(parents) >= AUTO_THRESHOLD:
+        try:
+            return ArrayTree(parents, weights)
+        except TreeError:
+            pass  # e.g. weights beyond int64: the object tree handles them
+    if isinstance(parents, np.ndarray):
+        parents = parents.tolist()
+        weights = weights.tolist()
+    return TaskTree(parents, weights)
+
+
+def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
     """Execute a ``solve`` request; mirrors ``repro-ioschedule solve``."""
-    tree = TaskTree(request.parents, request.weights)
+    if tree is None:
+        tree = build_tree(request.parents, request.weights)
     traversal = get_algorithm(request.algorithm)(tree, request.memory)
     validate(tree, traversal, request.memory)
     return {
@@ -69,11 +111,12 @@ def run_solve(request: SolveRequest) -> dict[str, Any]:
     }
 
 
-def run_paging(request: PagingRequest) -> dict[str, Any]:
+def run_paging(request: PagingRequest, *, tree=None) -> dict[str, Any]:
     """Execute a ``paging`` request; mirrors ``repro-ioschedule paging``."""
     from ..io import HDD, estimate_time, paged_io
 
-    tree = TaskTree(request.parents, request.weights)
+    if tree is None:
+        tree = build_tree(request.parents, request.weights)
     schedule = get_algorithm(request.algorithm)(tree, request.memory).schedule
     rows = []
     for policy in request.policies:
@@ -104,9 +147,10 @@ def run_paging(request: PagingRequest) -> dict[str, Any]:
     }
 
 
-def run_exact(request: ExactRequest) -> dict[str, Any]:
+def run_exact(request: ExactRequest, *, tree=None) -> dict[str, Any]:
     """Execute an ``exact`` request; mirrors ``repro-ioschedule exact``."""
-    tree = TaskTree(request.parents, request.weights)
+    if tree is None:
+        tree = build_tree(request.parents, request.weights)
     result = exact_min_io(
         tree,
         request.memory,
@@ -137,7 +181,9 @@ _RUNNERS = {
 }
 
 
-def execute_request(request: Request, *, seed_rng: bool = True) -> dict[str, Any]:
+def execute_request(
+    request: Request, *, seed_rng: bool = True, tree=None
+) -> dict[str, Any]:
     """Run one validated request and wrap the outcome in an envelope.
 
     ``seed_rng`` seeds the process-global RNG from the request's content
@@ -146,6 +192,8 @@ def execute_request(request: Request, *, seed_rng: bool = True) -> dict[str, Any
     in inline (thread) mode, where concurrent batches share one
     interpreter: seeding there would interleave across threads (no
     determinism gained) and clobber the embedding process's RNG state.
+    ``tree`` is the pre-built tree object, when the transport already
+    materialised one (the shared-memory path).
     """
     key = request.key()
     if seed_rng:
@@ -154,7 +202,7 @@ def execute_request(request: Request, *, seed_rng: bool = True) -> dict[str, Any
         # Thread-local scope: inline (thread-pool) workers honour each
         # request's engine without clobbering their batch-mates'.
         with engine_scope(request.engine):
-            result = _RUNNERS[request.kind](request)
+            result = _RUNNERS[request.kind](request, tree=tree)
     except (InfeasibleSchedule, InvalidTraversal, ValueError, KeyError) as exc:
         return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
     return ok_envelope(result, key=key)
@@ -179,6 +227,187 @@ def execute_many(
     return [execute_payload(p, seed_rng=seed_rng) for p in payloads]
 
 
+# --------------------------------------------------------------------- #
+# shared-memory transport: one ArrayForest buffer per micro-batch
+# --------------------------------------------------------------------- #
+
+#: default floor (total nodes per micro-batch) below which the batch is
+#: pickled instead: a shared-memory segment costs two syscalls and a
+#: worker-side forest rebuild per batch, which tiny batches cannot
+#: amortise (measured crossover is a few thousand nodes; the win grows
+#: with tree size — ~1.5-1.8x pool throughput at 2k-8k-node trees).
+SHM_MIN_BATCH_NODES = 8_192
+
+
+def _pack_batch(payloads: list[Mapping[str, Any]], min_nodes: int = 0):
+    """Pack a micro-batch's trees into one shared-memory forest buffer.
+
+    Returns ``(shm, stripped_payloads)`` — the payloads carry
+    ``{"shm": index}`` markers instead of their tree columns — or
+    ``None`` when there is nothing to pack, the batch is smaller than
+    ``min_nodes`` total, or shared memory is unavailable (the caller
+    falls back to the pickle path, where any malformed payload still
+    earns its proper error envelope).
+    """
+    from multiprocessing import shared_memory
+
+    trees: list[tuple[Any, Any]] = []
+    stripped: list[dict[str, Any]] = []
+    for payload in payloads:
+        tree = payload.get("tree") if isinstance(payload, Mapping) else None
+        if (
+            isinstance(tree, Mapping)
+            and isinstance(tree.get("parents"), (list, tuple))
+            and isinstance(tree.get("weights"), (list, tuple))
+            and len(tree["parents"]) == len(tree["weights"])
+            and len(tree["parents"]) > 0
+        ):
+            replaced = dict(payload)
+            replaced["tree"] = {"shm": len(trees)}
+            trees.append((tree["parents"], tree["weights"]))
+            stripped.append(replaced)
+        else:
+            stripped.append(dict(payload))
+    if not trees or sum(len(p) for p, _ in trees) < min_nodes:
+        return None
+    try:
+        offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+        parents = [np.asarray(p, dtype=np.int64) for p, _ in trees]
+        weights = [np.asarray(w, dtype=np.int64) for _, w in trees]
+        # Trees the worker-side forest rebuild would reject must not ride
+        # the segment: TaskTree accepts arbitrary-precision weights, the
+        # forest only int64 budgets — the pickle path handles those, and
+        # a rejected forest would poison the whole batch with errors.
+        if (
+            sum(float(np.sum(c, dtype=np.float64)) for c in weights)
+            > _MAX_TOTAL_WEIGHT
+        ):
+            return None
+        np.cumsum([len(c) for c in parents], out=offsets[1:])
+        total = int(offsets[-1])
+        words = 2 + len(offsets) + 2 * total
+        shm = shared_memory.SharedMemory(create=True, size=words * 8)
+    except (OSError, ValueError, OverflowError):
+        return None  # no /dev/shm, out-of-range values, ... — pickle instead
+    try:
+        buf = np.ndarray((words,), dtype=np.int64, buffer=shm.buf)
+        buf[0] = len(trees)
+        buf[1] = total
+        head = 2 + len(offsets)
+        buf[2:head] = offsets
+        np.concatenate(parents, out=buf[head : head + total])
+        np.concatenate(weights, out=buf[head + total :])
+        del buf  # release the exported view: close()/unlink() need it gone
+    except BaseException:
+        _release_shm(shm)
+        raise
+    return shm, stripped
+
+
+def _release_shm(shm) -> None:
+    """Close and unlink the batch segment (idempotent, error-proof)."""
+    with contextlib.suppress(OSError):
+        shm.close()
+    with contextlib.suppress(OSError, FileNotFoundError):
+        shm.unlink()
+
+
+def _release_abandoned_pack(future) -> None:
+    """Done-callback: free the segment of a pack whose awaiter was cancelled."""
+    if future.cancelled():
+        return
+    if future.exception() is None:
+        packed = future.result()
+        if packed is not None:
+            _release_shm(packed[0])
+
+
+def _attach_shm_untracked(name: str):
+    """Attach to a segment without registering it with a resource tracker.
+
+    On POSIX (≤ 3.12) merely *attaching* registers the name with the
+    process's resource tracker, whose later cleanup then races the
+    server's ``unlink`` — a forked worker corrupts the shared tracker's
+    book-keeping, a spawned one warns about "leaked" segments at exit.
+    The batch segment belongs to the server side; the worker only
+    borrows it, so the registration is suppressed for the attach.
+    (``SharedMemory(..., track=False)`` expresses this from 3.13 on.)
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _execute_shm_payload(
+    payload: Mapping[str, Any], forest: ArrayForest, index: int, seed_rng: bool
+) -> dict[str, Any]:
+    """Run one request whose tree lives in the batch forest."""
+    if not 0 <= index < forest.n_trees:
+        return error_envelope("internal", f"no tree {index} in batch forest")
+    a = int(forest.offsets[index])
+    b = int(forest.offsets[index + 1])
+    try:
+        request = parse_request(
+            payload,
+            trusted_tree=(forest._parents[a:b], forest._weights[a:b]),
+        )
+    except ProtocolError as exc:
+        return error_envelope(exc.code, exc.message)
+    except Exception as exc:  # defence in depth, like execute_payload
+        return error_envelope("internal", str(exc))
+    # Mirror build_tree: the forest already holds every derived buffer,
+    # so a large request's ArrayTree is a plain slice copy.
+    if b - a >= AUTO_THRESHOLD:
+        tree = forest.tree(index)
+    else:
+        tree = forest.task_tree(index)
+    return execute_request(request, seed_rng=seed_rng, tree=tree)
+
+
+def execute_many_shm(
+    shm_name: str, payloads: list[Mapping[str, Any]], seed_rng: bool = True
+) -> list[dict[str, Any]]:
+    """Worker entry point for a micro-batch shipped as a forest buffer.
+
+    Attaches the segment, copies the (small) batch blob out and detaches
+    immediately — no lifetime coupling with the server's unlink — then
+    rebuilds the :class:`~repro.core.forest.ArrayForest` and executes
+    every payload against its tree slice.  Payloads without a marker
+    (no tree to pack) run exactly like :func:`execute_many`.
+    """
+    try:
+        shm = _attach_shm_untracked(shm_name)
+    except (OSError, ValueError) as exc:
+        return [
+            error_envelope("internal", f"shared-memory batch lost: {exc}")
+        ] * len(payloads)
+    try:
+        blob = bytes(shm.buf)
+    finally:
+        shm.close()
+    try:
+        forest = ArrayForest.from_packed(blob)
+    except TreeError as exc:
+        return [
+            error_envelope("internal", f"bad shared-memory batch: {exc}")
+        ] * len(payloads)
+    out = []
+    for payload in payloads:
+        marker = payload.get("tree") if isinstance(payload, Mapping) else None
+        if isinstance(marker, Mapping) and "shm" in marker:
+            out.append(
+                _execute_shm_payload(payload, forest, marker["shm"], seed_rng)
+            )
+        else:
+            out.append(execute_payload(payload, seed_rng=seed_rng))
+    return out
+
+
 def _warmup() -> bool:
     """A no-op unit of work used to pre-fork and import-warm the workers."""
     return True
@@ -197,12 +426,32 @@ class WorkerPool:
         concurrency of the inline mode; also the number of micro-batches
         the server allows in flight at once (its dispatch semaphore is
         sized to :attr:`concurrency`).
+    shm_transport:
+        ship micro-batch trees to process workers as one shared-memory
+        forest buffer instead of pickling element lists (default on;
+        meaningless — and ignored — in inline mode, which shares the
+        server's heap already).
+    shm_min_nodes:
+        total-node floor per micro-batch below which the pickle path is
+        used even with the transport on (see
+        :data:`SHM_MIN_BATCH_NODES`); 0 packs every batch.
     """
 
-    def __init__(self, jobs: int = 2, *, inline_threads: int = 1):
+    def __init__(
+        self,
+        jobs: int = 2,
+        *,
+        inline_threads: int = 1,
+        shm_transport: bool = True,
+        shm_min_nodes: int = SHM_MIN_BATCH_NODES,
+    ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.jobs = jobs
+        self.shm_transport = bool(shm_transport) and jobs >= 1
+        self.shm_min_nodes = shm_min_nodes
+        #: batches actually shipped via shared memory (observability)
+        self.shm_batches = 0
         if jobs >= 1:
             self.concurrency = jobs
             self._executor: Executor = ProcessPoolExecutor(max_workers=jobs)
@@ -227,10 +476,36 @@ class WorkerPool:
     ) -> list[dict[str, Any]]:
         """Execute one micro-batch without blocking the event loop."""
         loop = asyncio.get_running_loop()
+        payloads = list(payloads)
+        if self.shm_transport:
+            # pack on the default thread executor: column conversion and
+            # the shm_open syscall must not stall the server's event loop
+            pack_future = loop.run_in_executor(
+                None, _pack_batch, payloads, self.shm_min_nodes
+            )
+            try:
+                packed = await pack_future
+            except asyncio.CancelledError:
+                # the thread may still create the segment after we are
+                # gone; release it whenever the pack actually finishes
+                pack_future.add_done_callback(_release_abandoned_pack)
+                raise
+            if packed is not None:
+                self.shm_batches += 1
+                shm, stripped = packed
+                try:
+                    return await loop.run_in_executor(
+                        self._executor, execute_many_shm, shm.name, stripped, True
+                    )
+                finally:
+                    # The worker copied the blob out before returning, so
+                    # the segment dies with the batch — even on timeouts
+                    # and cancellation.
+                    _release_shm(shm)
         # Seed only in process workers (one batch at a time per process);
         # inline threads share one interpreter, where seeding is a race.
         return await loop.run_in_executor(
-            self._executor, execute_many, list(payloads), self.jobs >= 1
+            self._executor, execute_many, payloads, self.jobs >= 1
         )
 
     def shutdown(self) -> None:

@@ -33,7 +33,7 @@ from typing import Any, Mapping
 
 from ..core.engine import ENGINES
 from ..core.tree import TaskTree, TreeError
-from ..datasets.store import cache_key
+from ..datasets.store import cache_key_buffers
 from ..experiments.batch import ENGINE_VERSION
 from ..experiments.registry import strategy_names
 from ..io.policies import POLICIES
@@ -134,6 +134,26 @@ def _fail(code: str, message: str) -> ProtocolError:
     return ProtocolError(code, message)
 
 
+def _request_key(request: "Request", params: dict[str, Any]) -> str:
+    """Buffer-digest content address of a request, computed once.
+
+    SHA-256 over the canonical int64 ``parents``/``weights`` buffers
+    plus the request's scalar parameters — the same digest whether the
+    columns are the server's Python tuples or a worker's numpy views of
+    the shared-memory transport, so both sides agree on the address
+    without ever marshalling element lists.  Cached on the (frozen)
+    request: the server's dedup/cache lookup and the worker's RNG
+    seeding reuse one canonicalisation.
+    """
+    cached = request.__dict__.get("_cached_key")
+    if cached is None:
+        cached = cache_key_buffers(
+            params, {"parents": request.parents, "weights": request.weights}
+        )
+        object.__setattr__(request, "_cached_key", cached)
+    return cached
+
+
 def _require_int(value: Any, field: str, *, lo: int, hi: int) -> int:
     if type(value) is not int or not (lo <= value <= hi):
         raise _fail(
@@ -223,15 +243,14 @@ class SolveRequest:
         }
 
     def key(self) -> str:
-        return cache_key(
+        return _request_key(
+            self,
             {
                 "kind": "service-solve",
                 "version": ENGINE_VERSION,
-                "parents": list(self.parents),
-                "weights": list(self.weights),
                 "memory": self.memory,
                 "algorithm": self.algorithm,
-            }
+            },
         )
 
 
@@ -264,18 +283,17 @@ class PagingRequest:
         }
 
     def key(self) -> str:
-        return cache_key(
+        return _request_key(
+            self,
             {
                 "kind": "service-paging",
                 "version": ENGINE_VERSION,
-                "parents": list(self.parents),
-                "weights": list(self.weights),
                 "memory": self.memory,
                 "algorithm": self.algorithm,
                 "page_size": self.page_size,
                 "policies": list(self.policies),
                 "seed": self.seed,
-            }
+            },
         )
 
 
@@ -304,16 +322,15 @@ class ExactRequest:
         }
 
     def key(self) -> str:
-        return cache_key(
+        return _request_key(
+            self,
             {
                 "kind": "service-exact",
                 "version": ENGINE_VERSION,
-                "parents": list(self.parents),
-                "weights": list(self.weights),
                 "memory": self.memory,
                 "max_states": self.max_states,
                 "node_limit": self.node_limit,
-            }
+            },
         )
 
 
@@ -322,8 +339,15 @@ Request = SolveRequest | PagingRequest | ExactRequest
 _KINDS = ("solve", "paging", "exact")
 
 
-def parse_request(obj: Any) -> Request:
+def parse_request(obj: Any, *, trusted_tree=None) -> Request:
     """Validate a decoded JSON body into a frozen request object.
+
+    ``trusted_tree`` — a pre-validated ``(parents, weights)`` column
+    pair — skips the tree re-validation and is how the shared-memory
+    transport hands workers their buffer views: the server already ran
+    :func:`_parse_tree` on the original body, so re-marshalling the
+    columns into JSON lists just to check them again would defeat the
+    zero-copy hand-off.  All scalar fields are still validated.
 
     Raises
     ------
@@ -335,7 +359,10 @@ def parse_request(obj: Any) -> Request:
     kind = obj.get("kind", "solve")
     if kind not in _KINDS:
         raise _fail("unknown_kind", f"unknown kind {kind!r}; expected one of {_KINDS}")
-    parents, weights = _parse_tree(obj)
+    if trusted_tree is not None:
+        parents, weights = trusted_tree
+    else:
+        parents, weights = _parse_tree(obj)
     memory = _require_int(obj.get("memory"), "memory", lo=1, hi=10**15)
     timeout = _parse_timeout(obj)
     engine = _parse_engine(obj)

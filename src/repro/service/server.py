@@ -90,6 +90,12 @@ class ServerConfig:
     request_timeout: float = 60.0  # default per-request deadline (seconds)
     max_body_bytes: int = 16 * 1024 * 1024
     cache_dir: str | None = None  # None = no result cache
+    #: ship micro-batch trees to process workers via shared memory (the
+    #: forest transport); falls back to pickling automatically where
+    #: shared memory is unavailable or the batch is too small to
+    #: amortise a segment, and is a no-op in inline mode.
+    shm_transport: bool = True
+    shm_min_nodes: int = -1  # -1 = the pool's default floor
 
 
 @dataclass
@@ -173,9 +179,17 @@ class ServiceServer:
         self.cache = cache if cache is not None else (
             ResultCache(config.cache_dir) if config.cache_dir else None
         )
-        self.pool = pool if pool is not None else WorkerPool(
-            config.workers, inline_threads=config.inline_threads
-        )
+        if pool is None:
+            kwargs = {}
+            if config.shm_min_nodes >= 0:
+                kwargs["shm_min_nodes"] = config.shm_min_nodes
+            pool = WorkerPool(
+                config.workers,
+                inline_threads=config.inline_threads,
+                shm_transport=config.shm_transport,
+                **kwargs,
+            )
+        self.pool = pool
         self.metrics = ServiceMetrics()
         self.port: int | None = None  # bound port, set by start()
         self._queue: asyncio.Queue[tuple[str, dict[str, Any]]] | None = None

@@ -162,3 +162,54 @@ class TestUnits:
         from repro.experiments.figures import FIGURES
 
         assert set(FIGURE_SPECS) == set(FIGURES)
+
+
+class TestForestPath:
+    """The forest shard path must be invisible in every output."""
+
+    def test_forest_and_per_tree_payloads_identical(self):
+        for fig_id in ("fig4", "fig5"):
+            on = shard_figure(fig_id, "tiny", forest=True)
+            off = shard_figure(fig_id, "tiny", forest=False)
+            # the flag is a performance knob: keys must not move
+            assert [s.key() for s in on] == [s.key() for s in off]
+            assert [s.seed for s in on] == [s.seed for s in off]
+            for a, b in zip(on, off):
+                pa, pb = run_shard(a), run_shard(b)
+                pa.pop("seconds")
+                pb.pop("seconds")
+                assert pa == pb
+
+    def test_object_engine_pin_disables_forest(self):
+        shard = shard_figure("fig4", "tiny", forest=True, engine="object")[0]
+        payload = run_shard(shard)
+        reference = run_shard(
+            shard_figure("fig4", "tiny", forest=False, engine="object")[0]
+        )
+        payload.pop("seconds")
+        reference.pop("seconds")
+        assert payload == reference
+
+    def test_shard_key_is_computed_once(self):
+        shard = shard_figure("fig4", "tiny")[0]
+        assert shard.key() is shard.key()  # cached canonicalisation
+
+    def test_report_identical_with_and_without_forest(self):
+        on = run_batch_figures("tiny", figure_ids=["fig4"], forest=True)
+        off = run_batch_figures("tiny", figure_ids=["fig4"], forest=False)
+        on["fig4"].pop("seconds")
+        off["fig4"].pop("seconds")
+        assert on == off
+
+    def test_over_budget_shard_falls_back_to_per_tree(self):
+        """Weights past the forest's int64 budget must not crash run_shard."""
+        big = 2**61
+        trees = ((((-1, 0, 0)), ((big, big, big))),)
+        on = dataclasses.replace(
+            shard_figure("fig4", "tiny", forest=True)[0], trees=trees
+        )
+        off = dataclasses.replace(on, forest=False)
+        pa, pb = run_shard(on), run_shard(off)
+        pa.pop("seconds")
+        pb.pop("seconds")
+        assert pa == pb

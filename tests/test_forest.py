@@ -1,0 +1,283 @@
+"""Forest-layer equivalence: batched solving must be byte-identical.
+
+A seeded property harness draws 200+ trees across every family the
+repository generates (the same family pool as the kernel-engine
+cross-validation), packs them into :class:`ArrayForest` batches through
+every constructor, and asserts that
+
+* each member's derived buffers (CSR children, topo, wbar, totals) are
+  **byte-identical** to a standalone ``ArrayTree`` of the same columns;
+* every forest sweep — best postorders (loop *and* vectorised engine),
+  Liu peaks/schedules, FiF simulation, full registry-strategy
+  traversals — reproduces the per-tree kernels and registry exactly:
+  same schedules, same I/O functions and volumes, same peaks;
+* the wire form (``pack``/``from_packed``) and the buffer-digest cache
+  keys are faithful to the identity columns;
+* invalid forests fail with the same ``TreeError`` vocabulary as the
+  per-tree constructors, naming the offending tree.
+
+Exact equality (never "close") is the contract: the forest path
+replaces per-tree dispatch in the batch engine and the service, so any
+divergence is a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core import forest_kernels as fk
+from repro.core.arraytree import ArrayTree
+from repro.core.forest import ArrayForest
+from repro.core.simulator import InfeasibleSchedule
+from repro.core.tree import TreeError
+from repro.datasets.store import cache_key_buffers
+from repro.experiments.registry import get_algorithm
+
+from tests.test_kernel_crossval import FAMILIES, _make_tree
+
+BASE_SEED = 20170208
+NUM_TREES = 208  # a multiple of the family count; >= 200 per the contract
+
+
+def _mixed_trees():
+    """208 seeded trees cycling through every family, sizes 1–400."""
+    trees = []
+    for i in range(NUM_TREES):
+        family = FAMILIES[i % len(FAMILIES)]
+        rng = np.random.default_rng(BASE_SEED + 7919 * i)
+        n = int(rng.integers(1, 401))
+        trees.append(_make_tree(family, n, rng))
+    return trees
+
+
+@pytest.fixture(scope="module")
+def trees():
+    return _mixed_trees()
+
+
+@pytest.fixture(scope="module")
+def ats(trees):
+    return [ArrayTree.from_task_tree(t) for t in trees]
+
+
+@pytest.fixture(scope="module")
+def forest(trees):
+    return ArrayForest.from_pairs(
+        [(list(t.parents), list(t.weights)) for t in trees]
+    )
+
+
+@pytest.fixture(scope="module")
+def mems(ats):
+    """One mid-regime bound per tree (clamped feasible)."""
+    out = []
+    for at in ats:
+        lb = at.min_feasible_memory()
+        peak = kernels.liu_peak(at)
+        out.append(max(max(1, lb), (lb + peak - 1) // 2))
+    return out
+
+
+def _assert_same_buffers(tk: ArrayTree, at: ArrayTree):
+    assert tk._parents == at._parents
+    assert tk._weights == at._weights
+    assert tk._child_start == at._child_start
+    assert tk._child_index == at._child_index
+    assert tk._topo == at._topo
+    assert tk._wbar == at._wbar
+    assert tk._root == at._root
+    assert tk._total_weight == at._total_weight
+
+
+class TestConstruction:
+    def test_every_constructor_matches_arraytree(self, trees, ats, forest):
+        from_trees = ArrayForest.from_trees(trees)
+        from_packed = ArrayForest.from_packed(forest.pack())
+        for f in (forest, from_trees, from_packed):
+            assert f.n_trees == len(trees)
+            assert f.total_nodes == sum(t.n for t in trees)
+            for k, at in enumerate(ats):
+                _assert_same_buffers(f.tree(k), at)
+
+    def test_task_tree_members_round_trip(self, trees, forest):
+        for k in (0, 7, NUM_TREES - 1):
+            assert forest.task_tree(k) == trees[k]
+
+    def test_sizes_and_offsets(self, trees, forest):
+        assert forest.sizes().tolist() == [t.n for t in trees]
+        assert int(forest.offsets[0]) == 0
+        assert len(forest) == len(trees)
+
+    def test_pack_roundtrip_is_exact(self, forest):
+        blob = forest.pack()
+        again = ArrayForest.from_packed(blob)
+        assert np.array_equal(again._parents, forest._parents)
+        assert np.array_equal(again._weights, forest._weights)
+        assert again.pack() == blob
+
+    def test_column_buffers_digest_stability(self, forest):
+        params = {"kind": "t", "version": 0}
+        a = cache_key_buffers(params, forest.column_buffers())
+        b = cache_key_buffers(
+            params,
+            {
+                "offsets": forest.offsets.tolist(),
+                "parents": forest._parents.tolist(),
+                "weights": forest._weights.tolist(),
+            },
+        )
+        assert a == b  # container-independent digests
+
+    def test_empty_forest(self):
+        f = ArrayForest([0], [], [])
+        assert f.n_trees == 0 and f.total_nodes == 0
+        assert fk.forest_lower_bounds(f) == []
+        assert fk.forest_best_postorders(f) == []
+
+    def test_single_node_trees(self):
+        f = ArrayForest([0, 1, 2], [-1, -1], [5, 9])
+        assert fk.forest_lower_bounds(f) == [5, 9]
+        assert fk.forest_min_peaks(f) == [5, 9]
+        assert fk.forest_best_postorders(f, [7, 11]) == [
+            ([0], [5], [0]),
+            ([0], [9], [0]),
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "offsets, parents, weights, fragment",
+        [
+            ([0, 2], [-1, -1, 0], [1, 1, 1], "columns disagree"),
+            ([0, 0], [], [], "at least one node"),
+            ([0, 3], [-1, -1, 0], [1, 1, 1], "tree 0: more than one root"),
+            ([0, 1, 2], [-1, 0], [1, 1], "tree 1: no root"),
+            ([0, 2], [-1, 5], [1, 1], "out-of-range parent"),
+            ([0, 2], [-1, 0], [1, -5], "negative"),
+            # 2-cycle behind the root
+            ([0, 3], [-1, 2, 1], [1, 1, 1], "tree 0: graph is not connected"),
+            # power-of-two cycle (pointer doubling converges to identity)
+            ([0, 1, 6], [-1, -1, 4, 1, 2, 3], [1] * 6,
+             "tree 1: graph is not connected"),
+        ],
+    )
+    def test_rejects(self, offsets, parents, weights, fragment):
+        with pytest.raises(TreeError, match=fragment):
+            ArrayForest(offsets, parents, weights)
+
+    def test_per_tree_weight_budget(self):
+        with pytest.raises(TreeError, match="int64 budget"):
+            ArrayForest([0, 2], [-1, 0], [2**62, 2**62])
+
+    def test_forest_wide_weight_budget(self):
+        # each tree individually fits; the forest total does not
+        with pytest.raises(TreeError, match="forest-wide"):
+            ArrayForest([0, 1, 2], [-1, -1], [2**61 + 2**60] * 2)
+
+    def test_truncated_pack_rejected(self, forest):
+        with pytest.raises(TreeError, match="packed forest"):
+            ArrayForest.from_packed(forest.pack()[:-8])
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_best_postorders(self, ats, forest, mems, vectorize):
+        mm = fk.forest_best_postorders(forest, None, vectorize=vectorize)
+        io = fk.forest_best_postorders(forest, mems, vectorize=vectorize)
+        for k, at in enumerate(ats):
+            assert mm[k] == kernels.best_postorder(at, None)
+            assert io[k] == kernels.best_postorder(at, mems[k])
+
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_flat_form_matches_lists(self, forest, mems, vectorize):
+        per_tree = fk.forest_best_postorders(forest, mems, vectorize=vectorize)
+        sched, storage, vio = fk.forest_best_postorders_flat(
+            forest, mems, vectorize=vectorize
+        )
+        off = forest.offsets.tolist()
+        for k, (s, st, v) in enumerate(per_tree):
+            a, b = off[k], off[k + 1]
+            assert sched[a:b].tolist() == s
+            assert storage[a:b].tolist() == st
+            assert vio[a:b].tolist() == v
+        no_sched = fk.forest_best_postorders_flat(
+            forest, mems, vectorize=vectorize, schedules=False
+        )
+        assert no_sched[0] is None
+        assert np.array_equal(no_sched[1], storage)
+        assert np.array_equal(no_sched[2], vio)
+
+    def test_lower_bounds_and_peaks(self, ats, forest):
+        lbs = fk.forest_lower_bounds(forest)
+        peaks = fk.forest_min_peaks(forest)
+        bounds = fk.forest_memory_bounds(forest)
+        for k, at in enumerate(ats):
+            assert lbs[k] == at.min_feasible_memory()
+            assert peaks[k] == kernels.liu_peak(at)
+            assert bounds[k] == (lbs[k], peaks[k])
+
+    def test_opt_min_mem(self, ats, forest):
+        for k, (schedule, peak) in enumerate(fk.forest_opt_min_mem(forest)):
+            assert (schedule, peak) == kernels.liu_schedule(ats[k])
+
+    def test_simulate_fif(self, ats, forest, mems):
+        schedules = [s for s, _st, _v in fk.forest_best_postorders(forest, mems)]
+        sims = fk.forest_simulate_fif(forest, schedules, mems)
+        for k, at in enumerate(ats):
+            assert sims[k] == kernels.simulate_fif(at, schedules[k], mems[k])
+
+    def test_simulate_fif_infeasible_matches(self, ats, forest):
+        k = next(
+            k for k, at in enumerate(ats) if at.min_feasible_memory() > 1
+        )
+        schedules = [
+            s for s, _st, _v in fk.forest_best_postorders(forest, None)
+        ]
+        mems = [None] * forest.n_trees
+        mems[k] = ats[k].min_feasible_memory() - 1
+        with pytest.raises(InfeasibleSchedule):
+            fk.forest_simulate_fif(forest, schedules, mems)
+
+    @pytest.mark.parametrize("algorithm", fk.FOREST_STRATEGIES)
+    def test_traversals_match_registry(self, trees, forest, mems, algorithm):
+        strategy = get_algorithm(algorithm)
+        travs = fk.forest_traversals(forest, algorithm, mems)
+        for k, tree in enumerate(trees):
+            assert travs[k] == strategy(tree, mems[k])
+
+    def test_unknown_forest_strategy(self, forest, mems):
+        with pytest.raises(KeyError, match="no forest kernel"):
+            fk.forest_traversals(forest, "RecExpand", mems)
+
+    def test_vector_engine_rejects_mixed_modes(self, forest, mems):
+        mixed = list(mems)
+        mixed[3] = None
+        with pytest.raises(ValueError, match="mixed"):
+            fk.forest_best_postorders(forest, mixed, vectorize=True)
+        # the loop path handles mixed modes fine
+        out = fk.forest_best_postorders(forest, mixed, vectorize=False)
+        assert out[3] == kernels.best_postorder(
+            ArrayForest.from_trees([forest.tree(3)]).tree(0), None
+        )
+
+    def test_memory_count_mismatch(self, forest):
+        with pytest.raises(ValueError, match="memory bounds"):
+            fk.forest_best_postorders(forest, [1, 2, 3])
+
+
+class TestDeepForest:
+    """Chains past the vectorised budgets stay exact via the fallbacks."""
+
+    def test_deep_chain_forest(self):
+        n = 6000  # deeper than _VECTOR_MAX_DEPTH
+        rng = np.random.default_rng(5)
+        weights = rng.integers(1, 100, size=n).astype(np.int64)
+        parents = np.arange(-1, n - 1, dtype=np.int64)
+        f = ArrayForest.from_pairs([(parents, weights), ([-1, 0], [3, 4])])
+        assert f.max_depth() == n - 1
+        at = ArrayTree(parents, weights)
+        mm = fk.forest_best_postorders(f, None)
+        assert mm[0] == kernels.best_postorder(at, None)
+        _assert_same_buffers(f.tree(0), at)

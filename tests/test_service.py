@@ -380,3 +380,257 @@ class TestBackpressureAndTimeouts:
             time.sleep(0.05)
         retry = client.submit(_request(algorithm=slow_algorithm))
         assert retry["cached"] is True
+
+
+# --------------------------------------------------------------------- #
+# shared-memory transport (the forest wire path to process workers)
+# --------------------------------------------------------------------- #
+
+
+class TestSharedMemoryTransport:
+    def _payloads(self):
+        import numpy as np
+
+        from repro.analysis.bounds import memory_bounds
+        from repro.datasets.synth import synth_instance
+
+        payloads = []
+        for n, algorithm in ((60, "PostOrderMinIO"), (700, "OptMinMem"), (40, "RecExpand")):
+            tree = synth_instance(n, seed=7)
+            bounds = memory_bounds(tree)
+            payloads.append(
+                {
+                    "kind": "solve",
+                    "tree": tree.to_dict(),
+                    "memory": bounds.mid if bounds.has_io_regime else bounds.peak_incore + 1,
+                    "algorithm": algorithm,
+                }
+            )
+        return payloads
+
+    def test_trusted_tree_key_matches_tuple_key(self):
+        import numpy as np
+
+        payload = _request()
+        parsed = parse_request(payload)
+        trusted = parse_request(
+            payload,
+            trusted_tree=(
+                np.asarray(parsed.parents),
+                np.asarray(parsed.weights),
+            ),
+        )
+        assert trusted.key() == parsed.key()
+        # a second call reuses the cached digest
+        assert trusted.key() is trusted.key()
+
+    def test_pack_and_execute_in_process(self):
+        from repro.service.pool import (
+            _pack_batch,
+            _release_shm,
+            execute_many_shm,
+            execute_payload,
+        )
+
+        payloads = self._payloads()
+        packed = _pack_batch(payloads)
+        assert packed is not None
+        shm, stripped = packed
+        try:
+            assert [p["tree"] for p in stripped] == [
+                {"shm": 0},
+                {"shm": 1},
+                {"shm": 2},
+            ]
+            got = execute_many_shm(shm.name, stripped, True)
+        finally:
+            _release_shm(shm)
+        assert got == [execute_payload(p, seed_rng=True) for p in payloads]
+        assert all(envelope["ok"] for envelope in got)
+
+    def test_invalid_scalars_still_rejected_on_shm_path(self):
+        from repro.service.pool import _pack_batch, _release_shm, execute_many_shm
+
+        bad = _request(algorithm="NoSuchAlgorithm")
+        packed = _pack_batch([bad])
+        assert packed is not None
+        shm, stripped = packed
+        try:
+            (envelope,) = execute_many_shm(shm.name, stripped, True)
+        finally:
+            _release_shm(shm)
+        assert envelope["ok"] is False
+        assert envelope["error"]["code"] == "unknown_algorithm"
+
+    def test_lost_segment_degrades_to_error_envelopes(self):
+        from repro.service.pool import execute_many_shm
+
+        out = execute_many_shm("psm_repro_gone_missing", [{"tree": {"shm": 0}}] * 2)
+        assert [e["error"]["code"] for e in out] == ["internal", "internal"]
+
+    def test_worker_pool_round_trip_and_fallback(self):
+        import asyncio
+
+        from repro.service.pool import WorkerPool, execute_payload
+
+        payloads = self._payloads()
+        expected = [execute_payload(p, seed_rng=True) for p in payloads]
+
+        async def drive():
+            pool = WorkerPool(jobs=1, shm_min_nodes=0)
+            assert pool.shm_transport
+            try:
+                pool.warm_up()
+                assert await pool.run_batch(payloads) == expected
+                assert pool.shm_batches == 1
+                pool.shm_transport = False  # pickle fallback, same envelopes
+                assert await pool.run_batch(payloads) == expected
+                assert pool.shm_batches == 1
+            finally:
+                pool.shutdown()
+
+        asyncio.run(drive())
+
+    def test_small_batches_stay_on_the_pickle_path(self):
+        """Below the node floor a segment cannot pay for itself."""
+        from repro.service.pool import _pack_batch, _release_shm
+
+        payloads = self._payloads()  # ~800 nodes total
+        assert _pack_batch(payloads, min_nodes=100_000) is None
+        packed = _pack_batch(payloads, min_nodes=0)
+        assert packed is not None
+        _release_shm(packed[0])
+
+    def test_inline_mode_never_packs(self):
+        from repro.service.pool import WorkerPool
+
+        pool = WorkerPool(jobs=0, shm_transport=True)
+        try:
+            assert pool.shm_transport is False
+        finally:
+            pool.shutdown()
+
+    def test_served_results_identical_with_and_without_shm(self, tmp_path):
+        """End to end over the socket: worker processes, both transports."""
+        from repro.service.pool import execute_payload
+
+        payloads = self._payloads()
+        expected = [execute_payload(p, seed_rng=True)["result"] for p in payloads]
+        for shm in (True, False):
+            config = ServerConfig(
+                port=0, workers=1, shm_transport=shm, shm_min_nodes=0
+            )
+            with ServerThread(config) as server:
+                client = ServiceClient(port=server.port)
+                assert client.wait_ready(30)
+                for payload, want in zip(payloads, expected):
+                    envelope = client.submit(payload)
+                    assert envelope["ok"] is True
+                    assert envelope["result"] == want
+
+
+class TestLargeRequestTreePath:
+    def test_build_tree_switches_representation(self):
+        from repro.core.arraytree import ArrayTree
+        from repro.core.engine import AUTO_THRESHOLD
+        from repro.core.tree import TaskTree
+        from repro.datasets.synth import synth_instance
+        from repro.service.pool import build_tree
+
+        small = synth_instance(AUTO_THRESHOLD - 1, seed=3)
+        large = synth_instance(AUTO_THRESHOLD, seed=3)
+        assert isinstance(build_tree(small.parents, small.weights), TaskTree)
+        assert isinstance(build_tree(large.parents, large.weights), ArrayTree)
+
+    def test_build_tree_falls_back_beyond_int64(self):
+        from repro.core.tree import TaskTree
+        from repro.service.pool import build_tree
+
+        n = 600
+        parents = [-1] + [0] * (n - 1)
+        weights = [2**70] * n  # object engine territory
+        assert isinstance(build_tree(parents, weights), TaskTree)
+
+    def test_large_solve_and_paging_match_object_path(self):
+        from repro.analysis.bounds import memory_bounds
+        from repro.core.tree import TaskTree
+        from repro.datasets.synth import synth_instance
+        from repro.service.pool import run_paging, run_solve
+        from repro.service.protocol import PagingRequest, SolveRequest
+
+        tree = synth_instance(700, seed=11)
+        bounds = memory_bounds(tree)
+        memory = bounds.mid
+        solve = SolveRequest(
+            parents=tree.parents,
+            weights=tree.weights,
+            memory=memory,
+            algorithm="PostOrderMinIO",
+        )
+        got = run_solve(solve)
+        want = run_solve(solve, tree=TaskTree(tree.parents, tree.weights))
+        assert got == want
+
+        paging = PagingRequest(
+            parents=tree.parents,
+            weights=tree.weights,
+            memory=memory,
+            algorithm="PostOrderMinIO",
+            page_size=4,
+            policies=("belady", "lru"),
+            seed=0,
+        )
+        got = run_paging(paging)
+        want = run_paging(paging, tree=TaskTree(tree.parents, tree.weights))
+        assert got == want
+
+
+class TestShmBudgetFallback:
+    def test_over_budget_batches_take_the_pickle_path(self):
+        """Trees the forest rebuild would reject must not be packed."""
+        from repro.service.pool import _pack_batch
+
+        big = 2**61
+        payload = {
+            "kind": "solve",
+            "tree": {"parents": [-1, 0, 0], "weights": [big, big, big]},
+            "memory": 1,
+            "algorithm": "PostOrderMinIO",
+        }
+        assert _pack_batch([payload], min_nodes=0) is None
+        huge = {
+            "kind": "solve",
+            "tree": {"parents": [-1, 0], "weights": [2**70, 2**70]},
+            "memory": 1,
+            "algorithm": "PostOrderMinIO",
+        }
+        assert _pack_batch([huge], min_nodes=0) is None  # beyond int64
+
+    def test_over_budget_request_still_served(self):
+        """End to end: the fallback must answer, not poison the batch."""
+        import asyncio
+
+        from repro.service.pool import WorkerPool, execute_payload
+
+        big = 2**61
+        payloads = [
+            {
+                "kind": "solve",
+                "tree": {"parents": [-1, 0, 0], "weights": [big, big, big]},
+                "memory": 3 * big,
+                "algorithm": "PostOrderMinIO",
+            },
+            _request(),
+        ]
+        expected = [execute_payload(p, seed_rng=True) for p in payloads]
+
+        async def drive():
+            pool = WorkerPool(jobs=1, shm_min_nodes=0)
+            try:
+                pool.warm_up()
+                assert await pool.run_batch(payloads) == expected
+                assert pool.shm_batches == 0  # budget guard said pickle
+            finally:
+                pool.shutdown()
+
+        asyncio.run(drive())

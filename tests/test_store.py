@@ -133,3 +133,74 @@ class TestResultCacheConcurrentPut:
         tmp_names = [n for n in names if n.endswith(".tmp")]
         assert len(tmp_names) == 2
         assert tmp_names[0] != tmp_names[1]
+
+
+class TestBufferDigestKeys:
+    """cache_key_buffers: the forest-era content addresses."""
+
+    def test_container_independent(self):
+        from array import array
+
+        import numpy as np
+
+        from repro.datasets.store import cache_key_buffers
+
+        params = {"kind": "x", "version": 2, "memory": 9}
+        digests = {
+            cache_key_buffers(
+                params, {"parents": [0, -1, 1], "weights": (5, 6, 7)}
+            ),
+            cache_key_buffers(
+                params,
+                {
+                    "parents": array("q", [0, -1, 1]),
+                    "weights": np.array([5, 6, 7]),
+                },
+            ),
+            cache_key_buffers(
+                params,
+                {
+                    "weights": np.array([5, 6, 7], dtype=np.int32),
+                    "parents": (0, -1, 1),
+                },
+            ),
+        }
+        assert len(digests) == 1
+        (digest,) = digests
+        assert len(digest) == 64 and int(digest, 16) >= 0
+
+    def test_values_and_params_bind_the_digest(self):
+        from repro.datasets.store import cache_key_buffers
+
+        base = cache_key_buffers({"v": 1}, {"a": [1, 2], "b": [3]})
+        assert base != cache_key_buffers({"v": 2}, {"a": [1, 2], "b": [3]})
+        assert base != cache_key_buffers({"v": 1}, {"a": [1, 2], "b": [4]})
+        # framing: moving an element across the column boundary must not
+        # collide even though the concatenated bytes are equal
+        assert base != cache_key_buffers({"v": 1}, {"a": [1], "b": [2, 3]})
+        # neither may renaming a column
+        assert base != cache_key_buffers({"v": 1}, {"a": [1, 2], "c": [3]})
+
+    def test_rejects_non_integral_buffers(self):
+        import pytest
+
+        from repro.datasets.store import cache_key_buffers
+
+        with pytest.raises(TypeError, match="integral"):
+            cache_key_buffers({}, {"a": [1.5]})
+        with pytest.raises(TypeError, match="integral"):
+            cache_key_buffers({}, {"a": ["x"]})
+
+    def test_empty_buffer_is_legal(self):
+        from repro.datasets.store import cache_key_buffers
+
+        assert cache_key_buffers({}, {"a": []}) != cache_key_buffers({}, {})
+
+    def test_cache_key_accepts_precanonicalised_payload(self):
+        from repro.datasets.store import cache_key, canonical_json
+
+        payload = {"b": [1, 2, 3], "a": "z"}
+        canonical = canonical_json(payload)
+        assert cache_key(payload) == cache_key(payload, canonical=canonical)
+        # key ordering must not matter
+        assert canonical == canonical_json({"a": "z", "b": [1, 2, 3]})
