@@ -33,7 +33,8 @@ from typing import Any, Mapping, Sequence
 from . import __version__
 from .analysis.bounds import memory_bounds
 from .analysis.profiles import render_ascii, to_csv
-from .core.engine import ENGINES, engine_scope, set_default_engine
+from .api.errors import EXIT_BAD_INPUT, ApiError
+from .core.engine import ENGINES, set_default_engine
 from .core.traversal import validate
 from .core.tree import TaskTree, TreeError
 from .datasets import instances as paper_instances
@@ -41,10 +42,6 @@ from .experiments.figures import FIGURES
 from .experiments.registry import ALGORITHMS, get_algorithm, strategy_names
 
 __all__ = ["main"]
-
-#: service rejections that mean "your request was wrong" (exit 2), as
-#: opposed to transport/overload/internal trouble (exit 1).
-_CLIENT_FAULT_STATUSES = frozenset({400, 404, 405, 413, 422})
 
 
 def _load_tree(path: str) -> TaskTree:
@@ -88,17 +85,34 @@ def _print_solve(
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    from .api import LocalBackend, SolveRequest
+
+    # One typed request, executed through the LocalBackend view of the
+    # API.  Built directly rather than via parse_request: _load_tree
+    # already ran the full structural validation and argparse pinned
+    # algorithm/engine to known choices, and the wire-schema caps
+    # (MAX_NODES, the 10^15 memory ceiling) protect the *service* — the
+    # offline path must keep taking million-node trees and the
+    # beyond-int64 memory bounds the object engine supports.  An
+    # infeasible memory still fails as "unsolvable" (exit 2) like every
+    # other backend.
     tree = _load_tree(args.tree)
-    with engine_scope(args.engine):
-        traversal = get_algorithm(args.algorithm)(tree, args.memory)
-    validate(tree, traversal, args.memory)
+    request = SolveRequest(
+        parents=tree.parents,
+        weights=tree.weights,
+        memory=args.memory,
+        algorithm=args.algorithm,
+        engine=args.engine,
+    )
+    outcome = LocalBackend().submit(request).raise_for_error()
+    result = outcome.result
     _print_solve(
-        args.algorithm,
-        args.memory,
-        traversal.io_volume,
-        traversal.performance(args.memory),
-        traversal.schedule,
-        {v: a for v, a in enumerate(traversal.io) if a},
+        result["algorithm"],
+        result["memory"],
+        result["io_volume"],
+        result["performance"],
+        result["schedule"],
+        {int(v): a for v, a in result["io"].items()},
         show_schedule=args.show_schedule,
     )
     return 0
@@ -344,18 +358,17 @@ def _build_submit_request(args: argparse.Namespace) -> dict[str, Any]:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient, ServiceError
+    from .api import RemoteBackend, parse_request
 
-    client = ServiceClient(args.host, args.port)
-    try:
-        envelope = client.submit(_build_submit_request(args))
-    except ServiceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2 if exc.status in _CLIENT_FAULT_STATUSES else 1
+    # The same typed request the offline commands build; validation
+    # failures are caught here, before any bytes hit the network, with
+    # the same codes the server would answer.
+    request = parse_request(_build_submit_request(args))
+    outcome = RemoteBackend(args.host, args.port).submit(request).raise_for_error()
     if args.json:
-        print(json.dumps(envelope, indent=2, sort_keys=True))
+        print(json.dumps(outcome.to_envelope(), indent=2, sort_keys=True))
         return 0
-    result = envelope["result"]
+    result = outcome.result
     if args.kind == "solve":
         _print_solve(
             result["algorithm"],
@@ -381,7 +394,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"exact optimum : {result['certificate']}")
         for name, row in result["gaps"].items():
             print(f"  {name:<16} io = {row['io_volume']:6d}   gap = {row['gap']:7.2%}")
-    if envelope.get("cached"):
+    if outcome.cached:
         print("(served from result cache)", file=sys.stderr)
     return 0
 
@@ -602,10 +615,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         return args.func(args)
     except TreeError as exc:
         print(f"error: invalid tree: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
+    except ApiError as exc:
+        # one taxonomy for every backend: the exception knows its exit
+        # code (client fault → 2, transport/overload/internal → 1)
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":

@@ -15,11 +15,14 @@ with the offending line number.
 
 The second half of the module is :class:`ResultCache`, the
 content-addressed on-disk store underneath the batch experiment engine
-(:mod:`repro.experiments.batch`): every completed work unit (a shard of
-figure instances, or one counterexample) is keyed by a SHA-256 digest of
-its *inputs* — tree structure, memory bound, algorithm list, scale — so
-re-running ``repro-ioschedule report`` only recomputes units whose
-inputs changed.
+(:mod:`repro.experiments.batch`), the scheduling service, and every
+:mod:`repro.api` backend: each completed work unit (a shard of figure
+instances, a counterexample, or one solve/paging/exact request) is
+keyed by a SHA-256 digest of its *inputs* — tree structure, memory
+bound, algorithm list, scale — derived through the one canonical path
+in :mod:`repro.api.requests`, so re-running ``repro-ioschedule report``
+only recomputes units whose inputs changed and a cache written by any
+execution surface serves warm hits to all the others.
 """
 
 from __future__ import annotations
@@ -161,17 +164,59 @@ def _canonical_int64(values: Any) -> bytes:
     — lists, tuples, ``array('q')``, numpy arrays — and produces
     identical bytes for equal *values*, regardless of container type or
     host byte order (so digests are portable across cache directories).
+
+    Columns with values beyond int64 (the object engine supports
+    arbitrary-precision weights) get a canonical decimal encoding
+    instead — see :func:`_canonical_bigint` — so such trees are content-
+    addressable too; int64-representable values always take the byte
+    path whatever container they arrive in, keeping digests stable.
     """
     arr = np.asarray(values)
     if arr.dtype != np.int64:
-        if arr.dtype == object or not (
-            np.issubdtype(arr.dtype, np.integer) or arr.size == 0
-        ):
+        if arr.dtype == object:
+            return _canonical_bigint(arr)
+        if not (np.issubdtype(arr.dtype, np.integer) or arr.size == 0):
             raise TypeError(
                 f"buffer column must be integral, got dtype {arr.dtype}"
             )
+        if (
+            arr.size
+            and np.issubdtype(arr.dtype, np.unsignedinteger)
+            and int(arr.max()) > np.iinfo(np.int64).max
+        ):
+            # uint64 values past int64 max would *wrap* under astype,
+            # aliasing distinct columns onto one digest — decimal-encode
+            # them like any other beyond-int64 column instead
+            return _canonical_bigint(arr.astype(object))
         arr = arr.astype(np.int64)
     return np.ascontiguousarray(arr).astype("<i8", copy=False).tobytes()
+
+
+def _canonical_bigint(arr: Any) -> bytes:
+    """Canonical bytes of an integer column that overflows int64.
+
+    A ``bigint:``-prefixed comma-joined decimal rendering: container-
+    independent like the byte path, and structurally unambiguous
+    against it — int64-path data is always a whole number of 8-byte
+    words, so the bigint encoding is padded to a length that is *never*
+    a multiple of 8 and the two can share no byte string.  Object
+    columns whose values *do* fit int64 are routed back to the byte
+    path, so equal values digest equally no matter how they were boxed;
+    non-integer elements keep raising ``TypeError``.
+    """
+    items = arr.tolist()
+    if not all(type(v) is int for v in items):
+        raise TypeError(
+            f"buffer column must be integral, got dtype {arr.dtype}"
+        )
+    try:
+        narrowed = np.array(items, dtype=np.int64)
+    except OverflowError:
+        data = b"bigint:" + ",".join(map(str, items)).encode("ascii")
+        if len(data) % 8 == 0:
+            data += b";"
+        return data
+    return np.ascontiguousarray(narrowed).astype("<i8", copy=False).tobytes()
 
 
 def cache_key_buffers(

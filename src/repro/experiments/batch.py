@@ -36,20 +36,19 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from ..analysis.bounds import MemoryBounds, memory_bounds
 from ..analysis.metrics import performance
 from ..analysis.profiles import build_profile
-from ..core.engine import default_engine, engine_scope
-from ..core.forest import ArrayForest
-from ..core.forest_kernels import (
-    FOREST_STRATEGIES,
-    forest_memory_bounds,
-    forest_traversals,
+from ..api.execution import execute_batch
+from ..api.requests import (
+    BatchRequest,
+    CanonicalRequest,
+    ENGINE_VERSION,
+    unit_seed,
 )
 from ..core.traversal import validate
-from ..core.tree import TaskTree, TreeError
+from ..core.tree import TaskTree
 from ..datasets import instances as paper_instances
-from ..datasets.store import ResultCache, cache_key, cache_key_buffers
+from ..datasets.store import ResultCache
 from .datasets import Scale
 from .figures import FIGURE_SPECS, FigureResult, build_dataset
 from .registry import ALGORITHMS, get_algorithm
@@ -58,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .runner import ExperimentReport
 
 __all__ = [
+    "BatchRequest",
     "BatchStats",
     "FigureShard",
     "CounterexampleUnit",
@@ -79,14 +79,8 @@ __all__ = [
 #: keys and hit/miss counters — are identical at every ``--jobs`` value.
 DEFAULT_SHARD_SIZE = 8
 
-#: bump when the result payload format changes; part of every cache key
-#: (batch work units *and* service requests — see :mod:`repro.service`)
-#: so stale entries from older engine versions can never be returned.
-#: v2: keys are buffer digests (:func:`repro.datasets.store.cache_key_buffers`
-#: over the canonical int64 tree columns) instead of JSON-marshalled lists.
-ENGINE_VERSION = 2
-
-# Backwards-compatible alias; new code should use the public name.
+# Backwards-compatible alias; the public constant now lives in
+# :mod:`repro.api.requests` (one engine-version salt for every surface).
 _ENGINE_VERSION = ENGINE_VERSION
 
 
@@ -121,69 +115,51 @@ class BatchStats:
 
 
 @dataclass(frozen=True)
-class FigureShard:
+class FigureShard(BatchRequest):
     """One contiguous slice of a figure's instance list.
 
-    The shard carries its trees as plain ``(parents, weights)`` tuples —
-    cheap to pickle across the process boundary and exactly the content
-    that is hashed into the cache key — plus everything a worker needs to
-    run it without touching figure-specific code.
+    A :class:`~repro.api.requests.BatchRequest` (trees as plain
+    ``(parents, weights)`` tuples — cheap to pickle across the process
+    boundary and exactly the content that is hashed into the cache key,
+    with the ``bound`` memory policy resolved per tree) plus the figure
+    book-keeping a worker needs to run it without touching
+    figure-specific code.  The content address keeps the historical
+    ``figure-shard`` derivation — same buffer digest, computed once per
+    instance — so caches written before the API unification stay warm.
     """
 
-    fig_id: str
-    scale: str
-    bound: str
-    algorithms: tuple[str, ...]
-    index: int  # position within the figure (merge order)
-    trees: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
-    seed: int  # deterministic per-shard seed (derived from the key)
-    #: kernel engine the workers run under.  Deliberately **excluded**
-    #: from the cache key: both engines produce byte-identical results
-    #: (the cross-validation harness enforces it), so a cached result
-    #: serves every engine setting.
-    engine: str = "auto"
-    #: solve the shard through the forest layer (one :class:`ArrayForest`
-    #: per shard) instead of dispatching per tree.  Also excluded from
-    #: the key — the forest kernels are byte-identical to the per-tree
-    #: engines, so a cached result serves both paths.
-    forest: bool = True
+    fig_id: str = ""
+    scale: str = ""
+    index: int = 0  # position within the figure (merge order)
+    seed: int = 0  # deterministic per-shard seed (derived from the key)
 
-    def key(self) -> str:
-        """Content-address of this shard's inputs.
-
-        A buffer digest over the concatenated tree columns — and
-        computed **once** per instance: the seed derivation, the cache
-        lookup and the cache write-back all reuse the same
-        canonicalisation instead of re-marshalling every tree per call.
-        """
-        cached = self.__dict__.get("_cached_key")
-        if cached is not None:
-            return cached
-        offsets = [0]
-        parents: list[int] = []
-        weights: list[int] = []
-        for p, w in self.trees:
-            parents.extend(p)
-            weights.extend(w)
-            offsets.append(len(parents))
-        key = cache_key_buffers(
-            {
-                "kind": "figure-shard",
-                "version": _ENGINE_VERSION,
-                "fig_id": self.fig_id,
-                "scale": self.scale,
-                "bound": self.bound,
-                "algorithms": list(self.algorithms),
-            },
-            {"offsets": offsets, "parents": parents, "weights": weights},
-        )
-        object.__setattr__(self, "_cached_key", key)
-        return key
+    def key_params(self) -> dict[str, Any]:
+        params = {
+            "kind": "figure-shard",
+            "version": _ENGINE_VERSION,
+            "fig_id": self.fig_id,
+            "scale": self.scale,
+            "bound": self.bound,
+            "algorithms": list(self.algorithms),
+        }
+        # The figure pipeline never pins an absolute memory (the bound
+        # policy resolves per tree), so the historical key omits it —
+        # but a caller who *does* pin one changes the output and must
+        # change the key, or a stale cache entry computed under a
+        # different bound would be served back as a hit.
+        if self.memory is not None:
+            params["memory"] = self.memory
+        return params
 
 
 @dataclass(frozen=True)
-class CounterexampleUnit:
-    """One hand-crafted paper instance (Figures 2a–2c, 6, 7) as a work unit."""
+class CounterexampleUnit(CanonicalRequest):
+    """One hand-crafted paper instance (Figures 2a–2c, 6, 7) as a work unit.
+
+    ``witness_io`` is part of the key because it is copied verbatim
+    into the cached row: correcting a witness value in
+    :mod:`repro.datasets.instances` must invalidate the entry.
+    """
 
     name: str
     parents: tuple[int, ...]
@@ -192,39 +168,18 @@ class CounterexampleUnit:
     witness_io: int | None
     algorithms: tuple[str, ...]
 
-    def key(self) -> str:
-        """Content-address of this unit's inputs (computed once).
+    def key_params(self) -> dict[str, Any]:
+        return {
+            "kind": "counterexample",
+            "version": _ENGINE_VERSION,
+            "name": self.name,
+            "memory": self.memory,
+            "witness_io": self.witness_io,
+            "algorithms": list(self.algorithms),
+        }
 
-        ``witness_io`` is part of the key because it is copied verbatim
-        into the cached row: correcting a witness value in
-        :mod:`repro.datasets.instances` must invalidate the entry.
-        """
-        cached = self.__dict__.get("_cached_key")
-        if cached is not None:
-            return cached
-        key = cache_key_buffers(
-            {
-                "kind": "counterexample",
-                "version": _ENGINE_VERSION,
-                "name": self.name,
-                "memory": self.memory,
-                "witness_io": self.witness_io,
-                "algorithms": list(self.algorithms),
-            },
-            {"parents": self.parents, "weights": self.weights},
-        )
-        object.__setattr__(self, "_cached_key", key)
-        return key
-
-
-def unit_seed(key: str) -> int:
-    """A deterministic 32-bit seed derived from a unit's content address.
-
-    Shared by the batch engine's shards and the service's request
-    execution so any strategy drawing global randomness behaves
-    identically whether a unit runs offline or behind the server.
-    """
-    return int(key[:8], 16)
+    def key_buffers(self) -> Mapping[str, Any]:
+        return {"parents": self.parents, "weights": self.weights}
 
 
 _shard_seed = unit_seed  # historical name
@@ -305,19 +260,14 @@ def counterexample_units(
 def run_shard(shard: FigureShard) -> dict[str, Any]:
     """Execute one figure shard (this is the worker entry point).
 
-    Rebuilds the shard's trees, applies the figure's per-tree I/O-regime
-    filter, runs and validates every algorithm, and returns the raw
-    per-instance columns as a JSON-friendly payload — exactly what
+    A thin timing-and-seeding wrapper over the shared
+    :func:`repro.api.execution.execute_batch` core, which rebuilds the
+    shard's trees, resolves the ``bound`` memory policy per tree
+    (applying the I/O-regime filter), runs and validates every
+    algorithm — through the forest kernels when possible, with a
+    byte-identical per-tree fallback — and returns the raw per-instance
+    columns as a JSON-friendly payload, exactly what
     :func:`merge_shards` and the cache store.
-
-    With ``shard.forest`` set (the default) the shard solves through the
-    forest layer: one :class:`~repro.core.forest.ArrayForest` packs all
-    trees, the memory grid comes from one whole-forest bounds sweep, and
-    every kernel-backed strategy runs as a forest batch; strategies
-    without a forest kernel (the RecExpand family) fall back to per-tree
-    dispatch over the forest's member views.  Both paths produce
-    byte-identical payloads — pinning ``engine="object"`` (argument or
-    ``REPRO_ENGINE``) disables the forest path entirely.
 
     The process-global RNGs are seeded with the shard's content-derived
     seed first, so any strategy that draws global randomness (none of
@@ -332,73 +282,9 @@ def run_shard(shard: FigureShard) -> dict[str, Any]:
     random.seed(shard.seed)
     np.random.seed(shard.seed)
     t0 = time.perf_counter()
-    io: dict[str, list[int]] = {a: [] for a in shard.algorithms}
-    memories: list[int] = []
-    sizes: list[int] = []
-    with engine_scope(shard.engine):
-        forest = None
-        if shard.forest and default_engine() != "object":
-            try:
-                forest = ArrayForest.from_pairs(shard.trees)
-            except TreeError:
-                # beyond the forest's int64 budgets (e.g. huge weights):
-                # the per-tree engines handle those, fall through
-                forest = None
-        if forest is not None:
-            _run_shard_forest(shard, forest, io, memories, sizes)
-        else:
-            for parents, weights in shard.trees:
-                tree = TaskTree(parents, weights)
-                bounds = memory_bounds(tree)
-                if not bounds.has_io_regime:
-                    continue
-                memory = bounds.grid()[shard.bound]
-                memories.append(memory)
-                sizes.append(tree.n)
-                for a in shard.algorithms:
-                    traversal = get_algorithm(a)(tree, memory)
-                    validate(tree, traversal, memory)
-                    io[a].append(traversal.io_volume)
-    return {
-        "io": {a: list(v) for a, v in io.items()},
-        "memories": memories,
-        "sizes": sizes,
-        "seconds": time.perf_counter() - t0,
-    }
-
-
-def _run_shard_forest(
-    shard: FigureShard,
-    forest: ArrayForest,
-    io: dict[str, list[int]],
-    memories: list[int],
-    sizes: list[int],
-) -> None:
-    """The forest execution path of :func:`run_shard` (same columns out)."""
-    bounds = [
-        MemoryBounds(lb=lb, peak_incore=peak)
-        for lb, peak in forest_memory_bounds(forest)
-    ]
-    keep = [k for k, b in enumerate(bounds) if b.has_io_regime]
-    if not keep:
-        return
-    mems = [bounds[k].grid()[shard.bound] for k in keep]
-    trees = [forest.tree(k) for k in keep]
-    memories.extend(mems)
-    sizes.extend(t.n for t in trees)
-    kept_forest = ArrayForest.from_trees(trees)
-    for a in shard.algorithms:
-        if a in FOREST_STRATEGIES:
-            for tree, memory, traversal in zip(
-                trees, mems, forest_traversals(kept_forest, a, mems)
-            ):
-                validate(tree, traversal, memory)
-                io[a].append(traversal.io_volume)
-        else:
-            for tree, memory in zip(trees, mems):
-                traversal = get_algorithm(a)(tree, memory)
-                validate(tree, traversal, memory)
-                io[a].append(traversal.io_volume)
+    payload = execute_batch(shard)
+    payload["seconds"] = time.perf_counter() - t0
+    return payload
 
 
 def run_counterexample_unit(unit: CounterexampleUnit) -> dict[str, Any]:

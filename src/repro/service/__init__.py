@@ -5,8 +5,9 @@ paths the CLI runs offline, aimed at the ROADMAP's "serve heavy traffic"
 north star:
 
 ``repro.service.protocol``
-    request/response schema, validation, stable error codes, and the
-    content addressing that makes identical requests collapse;
+    the wire-level view of the typed solver API (:mod:`repro.api`):
+    request dataclasses, validation, stable error codes and content
+    addressing all live there — this module (de)serializes them;
 ``repro.service.pool``
     the persistent worker pool executing validated micro-batches;
 ``repro.service.server``

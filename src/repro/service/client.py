@@ -19,13 +19,21 @@ import json
 import time
 from typing import Any, Mapping, Sequence
 
+from ..api.errors import ApiError
 from ..core.tree import TaskTree
 
 __all__ = ["ServiceClient", "ServiceError"]
 
 
-class ServiceError(RuntimeError):
+class ServiceError(ApiError, RuntimeError):
     """An error envelope from the service (or a transport-level failure).
+
+    Part of the unified taxonomy (:mod:`repro.api.errors`): as an
+    :class:`~repro.api.errors.ApiError` it carries the derived
+    ``exit_code``, so the CLI maps served rejections onto the same exit
+    contract as local validation failures.  Still a
+    :class:`RuntimeError` — its base until 1.2 — so pre-existing
+    ``except RuntimeError`` callers keep working.
 
     Attributes
     ----------
@@ -37,10 +45,7 @@ class ServiceError(RuntimeError):
     """
 
     def __init__(self, code: str, message: str, status: int = 0):
-        super().__init__(f"[{code}] {message}")
-        self.code = code
-        self.status = status
-        self.message = message
+        super().__init__(code, message, status=status)
 
 
 def _tree_payload(tree: TaskTree | Mapping[str, Sequence[int]]) -> dict[str, Any]:

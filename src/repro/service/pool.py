@@ -13,10 +13,14 @@ either
   backpressure deterministically and to see strategies registered at
   test time.
 
-One executor call carries one whole micro-batch (a single pickle
-round-trip instead of one per request); each request inside the batch is
-individually guarded, so one failing request yields one error envelope
-without poisoning its batch-mates.
+Execution itself lives in :mod:`repro.api.execution` — the same
+``run_solve``/``run_paging``/``run_exact`` cores every backend shares —
+so a request computes byte-identical results here, in
+:class:`~repro.api.backends.LocalBackend`, and offline.  This module
+owns only the transport: one executor call carries one whole
+micro-batch (a single pickle round-trip instead of one per request);
+each request inside the batch is individually guarded, so one failing
+request yields one error envelope without poisoning its batch-mates.
 
 With process workers the trees themselves do not ride in that pickle at
 all: the pool packs every request's ``parents``/``weights`` columns into
@@ -33,31 +37,25 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
-import random
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Mapping
 
 import numpy as np
 
-from ..algorithms.exact import exact_min_io
-from ..core.arraytree import ArrayTree, _MAX_TOTAL_WEIGHT
-from ..core.engine import AUTO_THRESHOLD, engine_scope
-from ..core.forest import ArrayForest
-from ..core.traversal import InvalidTraversal, validate
-from ..core.simulator import InfeasibleSchedule
-from ..core.tree import TaskTree, TreeError
-from ..experiments.batch import unit_seed
-from ..experiments.registry import PAPER_ALGORITHMS, get_algorithm
-from .protocol import (
-    ExactRequest,
-    PagingRequest,
-    ProtocolError,
-    Request,
-    SolveRequest,
-    error_envelope,
-    ok_envelope,
-    parse_request,
+from ..api.errors import ProtocolError
+from ..api.execution import (
+    build_tree,
+    execute_request,
+    run_exact,
+    run_paging,
+    run_solve,
 )
+from ..api.outcome import error_envelope
+from ..api.requests import parse_request
+from ..core.arraytree import _MAX_TOTAL_WEIGHT
+from ..core.engine import AUTO_THRESHOLD
+from ..core.forest import ArrayForest
+from ..core.tree import TreeError
 
 __all__ = [
     "WorkerPool",
@@ -71,143 +69,6 @@ __all__ = [
 ]
 
 
-def build_tree(parents, weights):
-    """The tree object a request executes on.
-
-    Large requests go straight to :class:`~repro.core.arraytree.ArrayTree`
-    — vectorised construction, no per-node object graph, and the engine
-    dispatch then keeps every kernel on the flat path — instead of
-    paying for a ``TaskTree`` first and converting on each algorithm
-    call.  Small requests keep the object tree (below
-    :data:`~repro.core.engine.AUTO_THRESHOLD` the conversion overhead
-    outweighs the win), as do weights beyond int64.  Accepts Python
-    sequences or numpy columns (the shared-memory path).
-    """
-    if len(parents) >= AUTO_THRESHOLD:
-        try:
-            return ArrayTree(parents, weights)
-        except TreeError:
-            pass  # e.g. weights beyond int64: the object tree handles them
-    if isinstance(parents, np.ndarray):
-        parents = parents.tolist()
-        weights = weights.tolist()
-    return TaskTree(parents, weights)
-
-
-def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
-    """Execute a ``solve`` request; mirrors ``repro-ioschedule solve``."""
-    if tree is None:
-        tree = build_tree(request.parents, request.weights)
-    traversal = get_algorithm(request.algorithm)(tree, request.memory)
-    validate(tree, traversal, request.memory)
-    return {
-        "kind": "solve",
-        "algorithm": request.algorithm,
-        "memory": request.memory,
-        "io_volume": traversal.io_volume,
-        "performance": traversal.performance(request.memory),
-        "schedule": list(traversal.schedule),
-        "io": {str(v): a for v, a in enumerate(traversal.io) if a},
-    }
-
-
-def run_paging(request: PagingRequest, *, tree=None) -> dict[str, Any]:
-    """Execute a ``paging`` request; mirrors ``repro-ioschedule paging``."""
-    from ..io import HDD, estimate_time, paged_io
-
-    if tree is None:
-        tree = build_tree(request.parents, request.weights)
-    schedule = get_algorithm(request.algorithm)(tree, request.memory).schedule
-    rows = []
-    for policy in request.policies:
-        res = paged_io(
-            tree,
-            schedule,
-            request.memory,
-            page_size=request.page_size,
-            policy=policy,
-            seed=request.seed,
-            trace=True,
-        )
-        rows.append(
-            {
-                "policy": policy,
-                "write_pages": res.write_pages,
-                "read_pages": res.read_pages,
-                "write_units": res.write_units,
-                "est_seconds": estimate_time(res.events, HDD).seconds,
-            }
-        )
-    return {
-        "kind": "paging",
-        "algorithm": request.algorithm,
-        "memory": request.memory,
-        "page_size": request.page_size,
-        "policies": rows,
-    }
-
-
-def run_exact(request: ExactRequest, *, tree=None) -> dict[str, Any]:
-    """Execute an ``exact`` request; mirrors ``repro-ioschedule exact``."""
-    if tree is None:
-        tree = build_tree(request.parents, request.weights)
-    result = exact_min_io(
-        tree,
-        request.memory,
-        max_states=request.max_states,
-        node_limit=request.node_limit,
-    )
-    gaps: dict[str, dict[str, Any]] = {}
-    for name in PAPER_ALGORITHMS:
-        io = get_algorithm(name)(tree, request.memory).io_volume
-        gap = (request.memory + io) / (request.memory + result.io_volume) - 1.0
-        gaps[name] = {"io_volume": io, "gap": gap}
-    return {
-        "kind": "exact",
-        "memory": request.memory,
-        "io_volume": result.io_volume,
-        "optimal": result.optimal,
-        "lower_bound": result.lower_bound,
-        "states_expanded": result.states_expanded,
-        "certificate": result.certificate(),
-        "gaps": gaps,
-    }
-
-
-_RUNNERS = {
-    SolveRequest.kind: run_solve,
-    PagingRequest.kind: run_paging,
-    ExactRequest.kind: run_exact,
-}
-
-
-def execute_request(
-    request: Request, *, seed_rng: bool = True, tree=None
-) -> dict[str, Any]:
-    """Run one validated request and wrap the outcome in an envelope.
-
-    ``seed_rng`` seeds the process-global RNG from the request's content
-    address — the same contract as the batch engine's shards, so
-    identical requests behave identically on any worker.  It is disabled
-    in inline (thread) mode, where concurrent batches share one
-    interpreter: seeding there would interleave across threads (no
-    determinism gained) and clobber the embedding process's RNG state.
-    ``tree`` is the pre-built tree object, when the transport already
-    materialised one (the shared-memory path).
-    """
-    key = request.key()
-    if seed_rng:
-        random.seed(unit_seed(key))
-    try:
-        # Thread-local scope: inline (thread-pool) workers honour each
-        # request's engine without clobbering their batch-mates'.
-        with engine_scope(request.engine):
-            result = _RUNNERS[request.kind](request, tree=tree)
-    except (InfeasibleSchedule, InvalidTraversal, ValueError, KeyError) as exc:
-        return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
-    return ok_envelope(result, key=key)
-
-
 def execute_payload(
     payload: Mapping[str, Any], *, seed_rng: bool = True
 ) -> dict[str, Any]:
@@ -216,7 +77,9 @@ def execute_payload(
         request = parse_request(payload)
     except Exception as exc:  # defence in depth; the server validated already
         code = getattr(exc, "code", "internal")
-        return error_envelope(code, str(exc))
+        # ApiError.__str__ is "[code] message"; the envelope carries the
+        # code separately, so ship the bare message
+        return error_envelope(code, getattr(exc, "message", str(exc)))
     return execute_request(request, seed_rng=seed_rng)
 
 

@@ -1,42 +1,50 @@
-"""Request/response schema of the scheduling service.
+"""Wire schema of the scheduling service — a thin view of :mod:`repro.api`.
 
-One wire format, JSON over HTTP.  A *request* asks one question about
-one tree under one memory bound — the same three questions the CLI
-answers offline:
+Since the typed solver API became the one request model for every
+surface, this module no longer owns any validation or key-derivation
+code: the request dataclasses, :func:`parse_request` and the stable
+error vocabulary live in :mod:`repro.api.requests` /
+:mod:`repro.api.errors`, and the success/error envelopes in
+:mod:`repro.api.outcome`.  What remains here is the wire-level surface
+the server and its clients share:
 
-``solve``
-    run one registered strategy, return its traversal and I/O volume;
-``paging``
-    execute the strategy's schedule through the page-granular pager
-    under one or more eviction policies;
-``exact``
-    branch-and-bound optimum plus the paper heuristics' gaps
-    (small trees only).
+* :data:`PROTOCOL_VERSION` — echoed in every response; bumped on
+  incompatible wire-format changes;
+* :data:`HTTP_STATUS` / :data:`ERROR_CODES` — the status each stable
+  code maps to (clients dispatch on the *code*, never the message);
+* :func:`ok_envelope` / :func:`error_envelope` — the uniform response
+  bodies (exactly the canonical half of an
+  :class:`~repro.api.outcome.Outcome` plus cache provenance);
+* the request types and :func:`parse_request`, re-exported so existing
+  imports keep working.
 
-Validation happens here, before anything touches a queue or a worker:
-:func:`parse_request` either returns a frozen request object or raises
-:class:`ProtocolError` with a **stable machine-readable code** from
-:data:`ERROR_CODES` (codes are part of the protocol; messages are for
-humans and may change).  Each request object canonicalises itself into
-``to_payload()`` — the dict shipped to worker processes — and derives
-its content address with :meth:`key`, which is what makes identical
-requests collapse onto one computation: the digest is built from the
-same :func:`repro.datasets.store.cache_key` as the batch engine's work
-units and shares its engine-version salt, so bumping the engine version
-invalidates served results and offline shards alike.
+A request's content address (:meth:`key`) is the same buffer digest the
+batch engine's work units use — one canonicalisation shared by the
+server's tuples and a worker's numpy views of the shared-memory
+transport — so identical requests collapse onto one computation and one
+cache entry on every surface, and bumping
+:data:`~repro.api.requests.ENGINE_VERSION` invalidates served results
+and offline shards alike.
+
+.. deprecated:: 1.2.0
+    Import the request types, ``parse_request``, ``ProtocolError`` and
+    the envelope helpers from :mod:`repro.api`; these re-exports remain
+    for backwards compatibility (removal no earlier than 2.0).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Mapping
-
-from ..core.engine import ENGINES
-from ..core.tree import TaskTree, TreeError
-from ..datasets.store import cache_key_buffers
-from ..experiments.batch import ENGINE_VERSION
-from ..experiments.registry import strategy_names
-from ..io.policies import POLICIES
+from ..api.errors import ERROR_CODES, HTTP_STATUS, ProtocolError
+from ..api.outcome import PROTOCOL_VERSION, error_envelope, ok_envelope
+from ..api.requests import (
+    DEFAULT_PAGING_POLICIES,
+    MAX_NODES,
+    ExactRequest,
+    PagingRequest,
+    Request,
+    SolveRequest,
+    parse_request,
+)
 
 __all__ = [
     "DEFAULT_PAGING_POLICIES",
@@ -53,364 +61,3 @@ __all__ = [
     "error_envelope",
     "ok_envelope",
 ]
-
-#: bump on incompatible wire-format changes; echoed in every response.
-PROTOCOL_VERSION = 1
-
-#: hard ceiling on accepted tree sizes — the service is a query front-end,
-#: not a bulk pipeline; anything larger belongs in the offline batch engine.
-MAX_NODES = 100_000
-
-#: default policy set for ``paging`` requests — the same four, in the
-#: same order, as the offline ``repro-ioschedule paging`` command, so a
-#: served request without an explicit list matches the CLI's output.
-DEFAULT_PAGING_POLICIES = ("belady", "lru", "random", "pessimal")
-
-#: the stable error vocabulary.  Values are the HTTP statuses the server
-#: maps each code to; clients should dispatch on the *code*, never on the
-#: message text.
-HTTP_STATUS: dict[str, int] = {
-    "bad_json": 400,        # body is not a JSON object
-    "bad_request": 400,     # envelope-level problem (not a dict, missing kind)
-    "unknown_kind": 400,    # kind not in {solve, paging, exact}
-    "bad_field": 400,       # a field has the wrong type/range
-    "invalid_tree": 400,    # parents/weights do not define a valid tree
-    "unknown_algorithm": 400,
-    "unknown_policy": 400,
-    "not_found": 404,       # no such endpoint
-    "method_not_allowed": 405,
-    "payload_too_large": 413,
-    "unsolvable": 422,      # validation passed but the solver refused/failed
-    "queue_full": 429,      # backpressure: admission queue at capacity
-    "internal": 500,
-    "timeout": 504,         # per-request deadline elapsed before completion
-}
-
-ERROR_CODES = frozenset(HTTP_STATUS)
-
-
-class ProtocolError(ValueError):
-    """A request that violates the schema; carries a stable error code."""
-
-    def __init__(self, code: str, message: str):
-        assert code in ERROR_CODES, code
-        super().__init__(message)
-        self.code = code
-        self.message = message
-
-
-def error_envelope(code: str, message: str) -> dict[str, Any]:
-    """The uniform error response body."""
-    return {
-        "ok": False,
-        "protocol": PROTOCOL_VERSION,
-        "error": {"code": code, "message": message},
-    }
-
-
-def ok_envelope(
-    result: Mapping[str, Any],
-    *,
-    key: str,
-    cached: bool = False,
-    deduped: bool = False,
-) -> dict[str, Any]:
-    """The uniform success response body.
-
-    ``cached`` — served from the on-disk result cache; ``deduped`` —
-    coalesced onto an identical in-flight request's computation.
-    """
-    return {
-        "ok": True,
-        "protocol": PROTOCOL_VERSION,
-        "key": key,
-        "cached": cached,
-        "deduped": deduped,
-        "result": dict(result),
-    }
-
-
-def _fail(code: str, message: str) -> ProtocolError:
-    return ProtocolError(code, message)
-
-
-def _request_key(request: "Request", params: dict[str, Any]) -> str:
-    """Buffer-digest content address of a request, computed once.
-
-    SHA-256 over the canonical int64 ``parents``/``weights`` buffers
-    plus the request's scalar parameters — the same digest whether the
-    columns are the server's Python tuples or a worker's numpy views of
-    the shared-memory transport, so both sides agree on the address
-    without ever marshalling element lists.  Cached on the (frozen)
-    request: the server's dedup/cache lookup and the worker's RNG
-    seeding reuse one canonicalisation.
-    """
-    cached = request.__dict__.get("_cached_key")
-    if cached is None:
-        cached = cache_key_buffers(
-            params, {"parents": request.parents, "weights": request.weights}
-        )
-        object.__setattr__(request, "_cached_key", cached)
-    return cached
-
-
-def _require_int(value: Any, field: str, *, lo: int, hi: int) -> int:
-    if type(value) is not int or not (lo <= value <= hi):
-        raise _fail(
-            "bad_field", f"{field!r} must be an integer in [{lo}, {hi}], got {value!r}"
-        )
-    return value
-
-
-def _parse_tree(obj: Mapping[str, Any]) -> tuple[tuple[int, ...], tuple[int, ...]]:
-    tree = obj.get("tree")
-    if not isinstance(tree, Mapping):
-        raise _fail("bad_field", "'tree' must be an object with 'parents' and 'weights'")
-    parents = tree.get("parents")
-    weights = tree.get("weights")
-    for name, seq in (("parents", parents), ("weights", weights)):
-        if not isinstance(seq, (list, tuple)) or any(
-            type(x) is not int for x in seq
-        ):
-            raise _fail("bad_field", f"'tree.{name}' must be a list of integers")
-    if len(parents) > MAX_NODES:
-        raise _fail(
-            "payload_too_large",
-            f"tree has {len(parents)} nodes > service limit {MAX_NODES}; "
-            "use the offline batch engine for bulk workloads",
-        )
-    try:
-        TaskTree(parents, weights)  # full structural validation
-    except TreeError as exc:
-        raise _fail("invalid_tree", str(exc)) from exc
-    return tuple(parents), tuple(weights)
-
-
-def _parse_algorithm(obj: Mapping[str, Any], *, default: str = "RecExpand") -> str:
-    algorithm = obj.get("algorithm", default)
-    known = strategy_names()
-    if algorithm not in known:
-        raise _fail(
-            "unknown_algorithm", f"unknown algorithm {algorithm!r}; available: {known}"
-        )
-    return algorithm
-
-
-def _parse_engine(obj: Mapping[str, Any]) -> str:
-    """The optional kernel-engine override (``auto``/``object``/``array``).
-
-    Purely a performance knob: both engines return identical results, so
-    the engine is **not** part of the request's content address — a
-    cached result computed under either engine serves both.
-    """
-    engine = obj.get("engine", "auto")
-    if engine not in ENGINES:
-        raise _fail(
-            "bad_field", f"'engine' must be one of {list(ENGINES)}, got {engine!r}"
-        )
-    return engine
-
-
-def _parse_timeout(obj: Mapping[str, Any]) -> float | None:
-    timeout = obj.get("timeout")
-    if timeout is None:
-        return None
-    if type(timeout) not in (int, float) or not (0 < timeout <= 3600):
-        raise _fail("bad_field", f"'timeout' must be a number in (0, 3600], got {timeout!r}")
-    return float(timeout)
-
-
-@dataclass(frozen=True)
-class SolveRequest:
-    """Run one registered strategy on one tree."""
-
-    parents: tuple[int, ...]
-    weights: tuple[int, ...]
-    memory: int
-    algorithm: str
-    timeout: float | None = None
-    engine: str = "auto"
-
-    kind = "solve"
-
-    def to_payload(self) -> dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "tree": {"parents": list(self.parents), "weights": list(self.weights)},
-            "memory": self.memory,
-            "algorithm": self.algorithm,
-            "engine": self.engine,
-        }
-
-    def key(self) -> str:
-        return _request_key(
-            self,
-            {
-                "kind": "service-solve",
-                "version": ENGINE_VERSION,
-                "memory": self.memory,
-                "algorithm": self.algorithm,
-            },
-        )
-
-
-@dataclass(frozen=True)
-class PagingRequest:
-    """Page-granular policy comparison on one strategy's schedule."""
-
-    parents: tuple[int, ...]
-    weights: tuple[int, ...]
-    memory: int
-    algorithm: str
-    page_size: int
-    policies: tuple[str, ...]
-    seed: int
-    timeout: float | None = None
-    engine: str = "auto"
-
-    kind = "paging"
-
-    def to_payload(self) -> dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "tree": {"parents": list(self.parents), "weights": list(self.weights)},
-            "memory": self.memory,
-            "algorithm": self.algorithm,
-            "page_size": self.page_size,
-            "policies": list(self.policies),
-            "seed": self.seed,
-            "engine": self.engine,
-        }
-
-    def key(self) -> str:
-        return _request_key(
-            self,
-            {
-                "kind": "service-paging",
-                "version": ENGINE_VERSION,
-                "memory": self.memory,
-                "algorithm": self.algorithm,
-                "page_size": self.page_size,
-                "policies": list(self.policies),
-                "seed": self.seed,
-            },
-        )
-
-
-@dataclass(frozen=True)
-class ExactRequest:
-    """Exact branch-and-bound optimum plus paper-heuristic gaps."""
-
-    parents: tuple[int, ...]
-    weights: tuple[int, ...]
-    memory: int
-    max_states: int
-    node_limit: int
-    timeout: float | None = None
-    engine: str = "auto"
-
-    kind = "exact"
-
-    def to_payload(self) -> dict[str, Any]:
-        return {
-            "kind": self.kind,
-            "tree": {"parents": list(self.parents), "weights": list(self.weights)},
-            "memory": self.memory,
-            "max_states": self.max_states,
-            "node_limit": self.node_limit,
-            "engine": self.engine,
-        }
-
-    def key(self) -> str:
-        return _request_key(
-            self,
-            {
-                "kind": "service-exact",
-                "version": ENGINE_VERSION,
-                "memory": self.memory,
-                "max_states": self.max_states,
-                "node_limit": self.node_limit,
-            },
-        )
-
-
-Request = SolveRequest | PagingRequest | ExactRequest
-
-_KINDS = ("solve", "paging", "exact")
-
-
-def parse_request(obj: Any, *, trusted_tree=None) -> Request:
-    """Validate a decoded JSON body into a frozen request object.
-
-    ``trusted_tree`` — a pre-validated ``(parents, weights)`` column
-    pair — skips the tree re-validation and is how the shared-memory
-    transport hands workers their buffer views: the server already ran
-    :func:`_parse_tree` on the original body, so re-marshalling the
-    columns into JSON lists just to check them again would defeat the
-    zero-copy hand-off.  All scalar fields are still validated.
-
-    Raises
-    ------
-    ProtocolError
-        with a stable code from :data:`ERROR_CODES` on any violation.
-    """
-    if not isinstance(obj, Mapping):
-        raise _fail("bad_request", "request body must be a JSON object")
-    kind = obj.get("kind", "solve")
-    if kind not in _KINDS:
-        raise _fail("unknown_kind", f"unknown kind {kind!r}; expected one of {_KINDS}")
-    if trusted_tree is not None:
-        parents, weights = trusted_tree
-    else:
-        parents, weights = _parse_tree(obj)
-    memory = _require_int(obj.get("memory"), "memory", lo=1, hi=10**15)
-    timeout = _parse_timeout(obj)
-    engine = _parse_engine(obj)
-
-    if kind == "solve":
-        return SolveRequest(
-            parents=parents,
-            weights=weights,
-            memory=memory,
-            algorithm=_parse_algorithm(obj),
-            timeout=timeout,
-            engine=engine,
-        )
-
-    if kind == "paging":
-        policies = obj.get("policies", list(DEFAULT_PAGING_POLICIES))
-        if (
-            not isinstance(policies, (list, tuple))
-            or not policies
-            or any(not isinstance(p, str) for p in policies)
-        ):
-            raise _fail("bad_field", "'policies' must be a non-empty list of names")
-        unknown = [p for p in policies if p not in POLICIES]
-        if unknown:
-            raise _fail(
-                "unknown_policy",
-                f"unknown policies {unknown}; available: {sorted(POLICIES)}",
-            )
-        return PagingRequest(
-            parents=parents,
-            weights=weights,
-            memory=memory,
-            algorithm=_parse_algorithm(obj),
-            page_size=_require_int(obj.get("page_size", 1), "page_size", lo=1, hi=10**9),
-            policies=tuple(policies),
-            seed=_require_int(obj.get("seed", 0), "seed", lo=0, hi=2**32 - 1),
-            timeout=timeout,
-            engine=engine,
-        )
-
-    return ExactRequest(
-        parents=parents,
-        weights=weights,
-        memory=memory,
-        max_states=_require_int(
-            obj.get("max_states", 2_000_000), "max_states", lo=1, hi=10**9
-        ),
-        node_limit=_require_int(obj.get("node_limit", 24), "node_limit", lo=1, hi=64),
-        timeout=timeout,
-        engine=engine,
-    )

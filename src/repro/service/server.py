@@ -32,6 +32,12 @@ Three mechanisms do the heavy lifting:
   populates the cache for the retry).
 
 Endpoints: ``POST /v1/submit``, ``GET /healthz``, ``GET /metrics``.
+
+Requests and envelopes are the typed model of :mod:`repro.api`: the
+server is one of three interchangeable backends (see
+:class:`repro.api.backends.RemoteBackend` for the client side), which
+is why its cache entries are warm hits for local and embedded-pool
+execution too.
 """
 
 from __future__ import annotations

@@ -1,0 +1,241 @@
+"""Backend-equivalence property harness for the typed solver API.
+
+The contract of :mod:`repro.api` is that the three execution backends —
+:class:`~repro.api.backends.LocalBackend` (in-process),
+:class:`~repro.api.backends.PoolBackend` (embedded worker pool) and
+:class:`~repro.api.backends.RemoteBackend` (HTTP service) — are
+interchangeable: an identical request must produce a **byte-identical
+canonical outcome** and an **identical cache key** on every one of
+them, and a result cache written by any backend must serve warm hits to
+all the others.
+
+~50 seeded trees cycling through every generator family the repository
+has (the same pool as the kernel cross-validation harness) are solved
+through all three backends, mixing solve/paging/exact kinds and
+algorithms; exact equality (never "close") is asserted throughout.
+Error outcomes are part of the contract too: the same infeasible
+request must fail with the same stable code everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import memory_bounds
+from repro.api import (
+    LocalBackend,
+    Outcome,
+    PoolBackend,
+    ProtocolError,
+    RemoteBackend,
+    parse_request,
+)
+from repro.datasets.store import ResultCache
+from repro.service.server import ServerConfig, ServerThread
+
+from tests.test_kernel_crossval import FAMILIES, _make_tree
+
+BASE_SEED = 20170417
+NUM_TREES = 48  # a multiple of the family count; "~50" per the contract
+
+ALGORITHMS = ("RecExpand", "PostOrderMinIO", "OptMinMem", "FullRecExpand")
+
+
+def _requests():
+    """~50 mixed-kind requests over seeded mixed-family trees."""
+    requests = []
+    for i in range(NUM_TREES):
+        family = FAMILIES[i % len(FAMILIES)]
+        rng = np.random.default_rng(BASE_SEED + 104729 * i)
+        tree = _make_tree(family, int(rng.integers(2, 64)), rng)
+        bounds = memory_bounds(tree)
+        memory = bounds.mid if bounds.has_io_regime else bounds.peak_incore + 1
+        memory = max(1, memory)
+        body = {
+            "kind": "solve",
+            "tree": {"parents": list(tree.parents), "weights": list(tree.weights)},
+            "memory": memory,
+            "algorithm": ALGORITHMS[i % len(ALGORITHMS)],
+        }
+        if i % 6 == 4:
+            # page_size 1 keeps the mid bound feasible (larger pages can
+            # round a feasible memory down below a node's frame need)
+            body |= {"kind": "paging", "page_size": 1, "policies": ["belady", "lru"]}
+        elif i % 6 == 5 and tree.n <= 16:
+            body |= {"kind": "exact", "node_limit": 16}
+        requests.append(parse_request(body))
+    return requests
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return _requests()
+
+
+@pytest.fixture(scope="module")
+def local_outcomes(requests):
+    """The reference run: LocalBackend, no cache."""
+    with LocalBackend() as backend:
+        return backend.run(requests)
+
+
+class TestBackendEquivalence:
+    def test_local_outcomes_are_sound(self, requests, local_outcomes):
+        assert len(local_outcomes) == len(requests)
+        assert all(isinstance(o, Outcome) for o in local_outcomes)
+        assert all(o.ok for o in local_outcomes)
+        assert all(o.backend == "local" for o in local_outcomes)
+        # keys come from the one canonical derivation
+        assert [o.key for o in local_outcomes] == [r.key() for r in requests]
+
+    def test_pool_backend_matches_local(self, requests, local_outcomes):
+        with PoolBackend(jobs=0) as backend:
+            outcomes = backend.run(requests)
+        assert [o.key for o in outcomes] == [o.key for o in local_outcomes]
+        assert [o.canonical() for o in outcomes] == [
+            o.canonical() for o in local_outcomes
+        ]
+        assert all(o.backend == "pool" for o in outcomes)
+
+    def test_remote_backend_matches_local(self, requests, local_outcomes):
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config) as thread:
+            backend = RemoteBackend(port=thread.port)
+            outcomes = backend.run(requests)
+        assert [o.key for o in outcomes] == [o.key for o in local_outcomes]
+        assert [o.canonical() for o in outcomes] == [
+            o.canonical() for o in local_outcomes
+        ]
+        assert all(o.backend == "remote" for o in outcomes)
+
+
+class TestWarmCacheSharing:
+    """A cache written by one backend is warm for every other."""
+
+    def test_cache_flows_local_to_pool_to_remote(
+        self, tmp_path, requests, local_outcomes
+    ):
+        root = tmp_path / "shared-cache"
+        with LocalBackend(cache=ResultCache(root)) as backend:
+            cold = backend.run(requests)
+        assert all(not o.cached for o in cold)
+        assert [o.canonical() for o in cold] == [
+            o.canonical() for o in local_outcomes
+        ]
+
+        # the pool backend never computes: every request is a warm hit
+        pool_cache = ResultCache(root)
+        with PoolBackend(jobs=0, cache=pool_cache) as backend:
+            warm = backend.run(requests)
+        assert all(o.cached for o in warm)
+        assert pool_cache.misses == 0
+        assert [o.canonical() for o in warm] == [o.canonical() for o in cold]
+
+        # ... and so is a server pointed at the same directory
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config, cache=ResultCache(root)) as thread:
+            served = RemoteBackend(port=thread.port).run(requests)
+            assert thread.server.metrics.computed == 0
+        assert all(o.cached for o in served)
+        assert [o.canonical() for o in served] == [o.canonical() for o in cold]
+
+    def test_cache_flows_remote_back_to_local(self, tmp_path, requests):
+        root = tmp_path / "server-cache"
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config, cache=ResultCache(root)) as thread:
+            served = RemoteBackend(port=thread.port).run(requests[:8])
+        local_cache = ResultCache(root)
+        with LocalBackend(cache=local_cache) as backend:
+            warm = backend.run(requests[:8])
+        assert all(o.cached for o in warm)
+        assert local_cache.misses == 0
+        assert [o.canonical() for o in warm] == [o.canonical() for o in served]
+
+
+class TestErrorEquivalence:
+    """The same invalid request fails identically on every backend."""
+
+    def _infeasible(self):
+        # memory far below the minimal feasible bound: validation passes,
+        # the solver refuses — the "unsolvable" execution error
+        return parse_request(
+            {
+                "kind": "solve",
+                "tree": {"parents": [-1, 0, 0], "weights": [5, 7, 9]},
+                "memory": 1,
+                "algorithm": "RecExpand",
+            }
+        )
+
+    def test_unsolvable_code_is_backend_independent(self):
+        request = self._infeasible()
+        with LocalBackend() as local, PoolBackend(jobs=0) as pool:
+            outcomes = [local.submit(request), pool.submit(request)]
+        config = ServerConfig(port=0, workers=0)
+        with ServerThread(config) as thread:
+            outcomes.append(RemoteBackend(port=thread.port).submit(request))
+        assert all(not o.ok for o in outcomes)
+        assert {o.error_code for o in outcomes} == {"unsolvable"}
+        canonicals = {o.canonical() for o in outcomes}
+        assert len(canonicals) == 1, canonicals
+        # the mapped exception carries the shared exit contract
+        for outcome in outcomes:
+            with pytest.raises(ProtocolError) as err:
+                outcome.raise_for_error()
+            assert err.value.exit_code == 2
+
+    def test_validation_rejects_before_any_backend(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"kind": "solve", "tree": None, "memory": 1})
+        assert err.value.code == "bad_field"
+        assert err.value.exit_code == 2
+
+    def test_worker_defence_envelope_carries_bare_message(self):
+        """The code rides in its own field; the message must not repeat it."""
+        from repro.service.pool import execute_payload
+
+        envelope = execute_payload({"kind": "solve", "tree": None, "memory": 1})
+        assert envelope["error"]["code"] == "bad_field"
+        assert not envelope["error"]["message"].startswith("[")
+
+
+class TestBackendContractEdges:
+    def _solve(self):
+        return parse_request(
+            {
+                "kind": "solve",
+                "tree": {"parents": [-1, 0, 0], "weights": [2, 3, 4]},
+                "memory": 9,
+                "algorithm": "RecExpand",
+            }
+        )
+
+    def test_pool_backend_usable_from_inside_a_running_loop(self):
+        import asyncio
+
+        request = self._solve()
+        with LocalBackend() as local, PoolBackend(jobs=0) as pool:
+            want = local.submit(request).canonical()
+
+            async def drive():
+                # blocking by contract, but must not raise RuntimeError
+                return pool.submit(request)
+
+            got = asyncio.run(drive())
+        assert got.canonical() == want
+
+    def test_batch_rejection_is_independent_of_cache_state(self, tmp_path):
+        from repro.api import BatchRequest
+        from repro.datasets.store import ResultCache
+
+        batch = BatchRequest(
+            trees=(((-1, 0, 0), (2, 3, 4)),), algorithms=("RecExpand",)
+        )
+        root = tmp_path / "cache"
+        with LocalBackend(cache=ResultCache(root)) as local:
+            assert local.submit(batch).ok  # populates the shared cache
+        with PoolBackend(jobs=0, cache=ResultCache(root)) as pool:
+            with pytest.raises(ProtocolError) as err:
+                pool.submit(batch)  # rejected even though the key is cached
+        assert err.value.code == "unknown_kind"

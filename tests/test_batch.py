@@ -194,6 +194,15 @@ class TestForestPath:
         shard = shard_figure("fig4", "tiny")[0]
         assert shard.key() is shard.key()  # cached canonicalisation
 
+    def test_pinned_memory_changes_the_shard_key(self):
+        """An absolute bound changes the output, so it must change the key."""
+        base = shard_figure("fig4", "tiny")[0]
+        assert base.memory is None  # the figure pipeline uses the bound policy
+        pinned = dataclasses.replace(base, memory=7)
+        other = dataclasses.replace(base, memory=9)
+        assert base.key() != pinned.key()
+        assert pinned.key() != other.key()
+
     def test_report_identical_with_and_without_forest(self):
         on = run_batch_figures("tiny", figure_ids=["fig4"], forest=True)
         off = run_batch_figures("tiny", figure_ids=["fig4"], forest=False)

@@ -64,6 +64,47 @@ class TestSolve:
         with pytest.raises(SystemExit):
             main(["solve", "--tree", tree_file, "--memory", "6", "--algorithm", "Nope"])
 
+    def test_offline_solve_is_not_wire_capped(self, tmp_path, capsys):
+        """MAX_NODES protects the service; offline solve must take huge trees."""
+        from repro.api import MAX_NODES, ProtocolError, parse_request
+
+        n = MAX_NODES + 1
+        tree = {"parents": [-1] + list(range(n - 1)), "weights": [1] * n}
+        path = tmp_path / "chain.json"
+        path.write_text(json.dumps(tree))
+        assert (
+            main(
+                [
+                    "solve", "--tree", str(path), "--memory", "4",
+                    "--algorithm", "PostOrderMinIO",
+                ]
+            )
+            == 0
+        )
+        assert "io volume" in capsys.readouterr().out
+        # ... while the wire path keeps rejecting the same tree
+        with pytest.raises(ProtocolError) as err:
+            parse_request({"kind": "solve", "tree": tree, "memory": 4})
+        assert err.value.code == "payload_too_large"
+
+    def test_offline_solve_takes_beyond_int64_weights(self, tmp_path, capsys):
+        """Huge weights (object engine) and >10^15 memory bounds still solve."""
+        big = 2**70
+        path = tmp_path / "huge.json"
+        path.write_text(
+            json.dumps({"parents": [-1, 0, 0], "weights": [big, big, big]})
+        )
+        assert (
+            main(
+                [
+                    "solve", "--tree", str(path), "--memory", str(3 * big),
+                    "--algorithm", "PostOrderMinIO",
+                ]
+            )
+            == 0
+        )
+        assert "io volume   : 0" in capsys.readouterr().out
+
 
 class TestInstance:
     def test_figure_2b(self, capsys):

@@ -190,6 +190,32 @@ class TestBufferDigestKeys:
             cache_key_buffers({}, {"a": [1.5]})
         with pytest.raises(TypeError, match="integral"):
             cache_key_buffers({}, {"a": ["x"]})
+        with pytest.raises(TypeError, match="integral"):
+            cache_key_buffers({}, {"a": [2**70, 1.5]})
+
+    def test_beyond_int64_columns_are_addressable(self):
+        """Arbitrary-precision weights (object engine) must digest too."""
+        import numpy as np
+
+        from repro.datasets.store import cache_key_buffers
+
+        big = cache_key_buffers({}, {"a": [2**70, 1]})
+        assert big == cache_key_buffers({}, {"a": (2**70, 1)})  # container-free
+        assert big != cache_key_buffers({}, {"a": [2**70, 2]})
+        assert big != cache_key_buffers({}, {"a": [2**69, 1]})
+        # an object-boxed column of small values digests like the plain one
+        boxed = np.array([5, 6, 7], dtype=object)
+        assert cache_key_buffers({}, {"a": boxed}) == cache_key_buffers(
+            {}, {"a": [5, 6, 7]}
+        )
+        # uint64 values past int64 max must not wrap onto another column
+        top = np.array([2**63], dtype=np.uint64)
+        assert cache_key_buffers({}, {"a": top}) == cache_key_buffers(
+            {}, {"a": [2**63]}
+        )
+        assert cache_key_buffers({}, {"a": top}) != cache_key_buffers(
+            {}, {"a": [-(2**63)]}
+        )
 
     def test_empty_buffer_is_legal(self):
         from repro.datasets.store import cache_key_buffers
