@@ -291,6 +291,13 @@ class RemoteBackend(_CachingBackend):
 
     A client-side ``cache`` is optional and off by default — the server
     already maintains the authoritative one.
+
+    ``wire`` selects the submit encoding (see
+    :class:`~repro.service.client.ServiceClient`): the default
+    ``"auto"`` prefers the binary frame path and falls back to JSON
+    transparently — per request when a request cannot be framed, and
+    stickily when the server predates the frame protocol — so outcomes,
+    cache keys and provenance are identical either way.
     """
 
     name = "remote"
@@ -303,12 +310,13 @@ class RemoteBackend(_CachingBackend):
         client: "ServiceClient | None" = None,
         cache: ResultCache | None = None,
         timeout: float = 120.0,
+        wire: str = "auto",
     ):
         super().__init__(cache)
         if client is None:
             from ..service.client import ServiceClient
 
-            client = ServiceClient(host, port, timeout=timeout)
+            client = ServiceClient(host, port, timeout=timeout, wire=wire)
         self.client = client
 
     def _execute(self, requests: Sequence[Any]) -> list[Outcome]:

@@ -55,9 +55,13 @@ HTTP_STATUS: dict[str, int] = {
     "invalid_tree": 400,    # parents/weights do not define a valid tree
     "unknown_algorithm": 400,
     "unknown_policy": 400,
+    "bad_frame": 400,       # binary frame is malformed (truncated, lying lengths…)
+    "unsupported_wire_version": 400,  # frame speaks a different frame layout
+    "version_skew": 400,    # frame built against another protocol/engine version
     "not_found": 404,       # no such endpoint
     "method_not_allowed": 405,
     "payload_too_large": 413,
+    "unsupported_media_type": 415,  # Content-Type is neither JSON nor the frame type
     "unsolvable": 422,      # validation passed but the solver refused/failed
     "queue_full": 429,      # backpressure: admission queue at capacity
     "internal": 500,
@@ -68,7 +72,7 @@ ERROR_CODES = frozenset(HTTP_STATUS)
 
 #: statuses that mean "your request was wrong" (exit 2), as opposed to
 #: transport/overload/internal trouble (exit 1).
-CLIENT_FAULT_STATUSES = frozenset({400, 404, 405, 413, 422})
+CLIENT_FAULT_STATUSES = frozenset({400, 404, 405, 413, 415, 422})
 
 
 def exit_code_for_status(status: int) -> int:

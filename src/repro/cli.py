@@ -315,6 +315,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.timeout,
         cache_dir=cache_dir,
         shm_transport=args.forest,
+        keepalive_timeout=args.keepalive_timeout,
+        max_pipeline=args.max_pipeline,
     )
     server = ServiceServer(config)
     server.pool.warm_up()
@@ -364,7 +366,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # failures are caught here, before any bytes hit the network, with
     # the same codes the server would answer.
     request = parse_request(_build_submit_request(args))
-    outcome = RemoteBackend(args.host, args.port).submit(request).raise_for_error()
+    backend = RemoteBackend(args.host, args.port, wire=args.wire)
+    outcome = backend.submit(request).raise_for_error()
     if args.json:
         print(json.dumps(outcome.to_envelope(), indent=2, sort_keys=True))
         return 0
@@ -528,7 +531,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm", action="append")
     p.set_defaults(func=_cmd_instance)
 
-    p = sub.add_parser("serve", help="run the scheduling service (JSON over HTTP)")
+    p = sub.add_parser(
+        "serve", help="run the scheduling service (JSON + binary frames over HTTP)"
+    )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8177, help="0 picks an ephemeral port")
     p.add_argument(
@@ -572,6 +577,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-forest", dest="forest", action="store_false",
         help="pickle micro-batch payloads to workers instead",
     )
+    p.add_argument(
+        "--keepalive-timeout", type=float, default=75.0,
+        help="seconds an idle keep-alive connection stays open "
+             "(<= 0 closes after every response; default: 75)",
+    )
+    p.add_argument(
+        "--max-pipeline", type=int, default=32,
+        help="pipelined requests in flight per connection (default: 32)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit one request to a running service")
@@ -596,6 +610,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel engine the server should use for this request",
     )
     p.add_argument("--json", action="store_true", help="print the raw JSON envelope")
+    p.add_argument(
+        "--wire", default="auto", choices=("auto", "binary", "json"),
+        help="submit encoding: binary frames with JSON fallback (auto, "
+             "the default), frames only, or JSON only",
+    )
     p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("demo", help="quick end-to-end demonstration")

@@ -14,13 +14,23 @@ north star:
     the asyncio JSON-over-HTTP server — micro-batching, bounded
     admission queue (backpressure), in-flight + cache-backed dedup,
     ``/metrics``;
+``repro.service.wire``
+    the length-framed binary content type: tree buffers in
+    ``ArrayForest.pack()`` layout plus a compact binary header, with
+    zero JSON on the tree path (negotiated per request, JSON stays the
+    default);
 ``repro.service.client``
-    a synchronous Python client (also behind ``repro-ioschedule submit``).
+    a synchronous Python client (also behind ``repro-ioschedule submit``);
+``repro.service.aioclient``
+    the asyncio client — keep-alive connection pool + request
+    pipelining, for burst-throughput workloads.
 
 Start a server with ``repro-ioschedule serve`` and query it with
-``repro-ioschedule submit`` or :class:`ServiceClient`.
+``repro-ioschedule submit``, :class:`ServiceClient`, or
+:class:`AsyncServiceClient`.
 """
 
+from .aioclient import AsyncServiceClient
 from .client import ServiceClient, ServiceError
 from .pool import WorkerPool
 from .protocol import (
@@ -30,8 +40,17 @@ from .protocol import (
     parse_request,
 )
 from .server import ServerConfig, ServerThread, ServiceServer, running_server
+from .wire import (
+    WIRE_CONTENT_TYPE,
+    WIRE_VERSION,
+    decode_request_frame,
+    decode_response_frame,
+    encode_request_frame,
+    encode_response_frame,
+)
 
 __all__ = [
+    "AsyncServiceClient",
     "ERROR_CODES",
     "PROTOCOL_VERSION",
     "ProtocolError",
@@ -40,7 +59,13 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
+    "WIRE_CONTENT_TYPE",
+    "WIRE_VERSION",
     "WorkerPool",
+    "decode_request_frame",
+    "decode_response_frame",
+    "encode_request_frame",
+    "encode_response_frame",
     "parse_request",
     "running_server",
 ]

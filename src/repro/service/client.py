@@ -1,8 +1,14 @@
 """Synchronous Python client for the scheduling service.
 
-Thin by design: one :class:`http.client.HTTPConnection` per call (the
-server closes connections after each response), JSON in/out, and the
-protocol's stable error codes surfaced as :class:`ServiceError`.
+Thin by design: one :class:`http.client.HTTPConnection` per call, the
+protocol's stable error codes surfaced as :class:`ServiceError`, and
+transparent wire negotiation — ``wire="auto"`` (the default) submits
+requests as binary frames (:mod:`repro.service.wire`) and falls back to
+JSON per request when a request cannot be framed, or stickily when the
+server turns out not to speak frames at all (an old server answers
+``bad_json`` to a frame body it tried to parse as JSON).  For
+high-throughput pipelined submission use
+:class:`~repro.service.aioclient.AsyncServiceClient` instead.
 
 ::
 
@@ -19,10 +25,23 @@ import json
 import time
 from typing import Any, Mapping, Sequence
 
-from ..api.errors import ApiError
+from ..api.errors import ApiError, ProtocolError
 from ..core.tree import TaskTree
+from .wire import (
+    JSON_CONTENT_TYPE,
+    WIRE_CONTENT_TYPE,
+    WireEncodeError,
+    decode_response_frame,
+    encode_request_frame,
+    media_type,
+)
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: error codes that mean "this server did not understand a binary frame"
+#: — an old server ignores Content-Type and tries the frame as JSON
+#: (``bad_json``); a future server may refuse the media type outright.
+_WIRE_UNSUPPORTED_CODES = frozenset({"bad_json", "unsupported_media_type"})
 
 
 class ServiceError(ApiError, RuntimeError):
@@ -55,34 +74,74 @@ def _tree_payload(tree: TaskTree | Mapping[str, Sequence[int]]) -> dict[str, Any
 
 
 class ServiceClient:
-    """Talk to one ``repro-ioschedule serve`` instance."""
+    """Talk to one ``repro-ioschedule serve`` instance.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8177, *, timeout: float = 120.0):
+    ``wire`` selects the submit encoding: ``"auto"`` (binary frames with
+    transparent JSON fallback — the default), ``"binary"`` (frames only;
+    unframable requests raise), or ``"json"`` (the pre-frame behaviour,
+    byte-for-byte).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8177,
+        *,
+        timeout: float = 120.0,
+        wire: str = "auto",
+    ):
+        if wire not in ("auto", "binary", "json"):
+            raise ValueError(f"wire must be auto, binary or json, not {wire!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.wire = wire
+        # sticky: flipped off the first time the server proves it does
+        # not speak frames, so every later submit goes straight to JSON
+        self._wire_ok = wire != "json"
 
     # ---------------------------------------------------------------- #
     # transport
     # ---------------------------------------------------------------- #
 
-    def _request(self, method: str, path: str, body: bytes | None = None) -> dict[str, Any]:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        content_type: str = JSON_CONTENT_TYPE,
+        accept: str | None = None,
+    ) -> dict[str, Any]:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
+            headers = {"Content-Type": content_type} if body else {}
+            if accept is not None:
+                headers["Accept"] = accept
             try:
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
                 status = response.status
+                response_type = media_type(response.getheader("Content-Type"))
             except (OSError, http.client.HTTPException) as exc:
                 raise ServiceError("transport", f"{type(exc).__name__}: {exc}") from exc
-            try:
-                envelope = json.loads(raw)
-            except ValueError as exc:
-                raise ServiceError(
-                    "transport", f"non-JSON response (HTTP {status})", status
-                ) from exc
+            if response_type == WIRE_CONTENT_TYPE:
+                try:
+                    envelope: Any = decode_response_frame(raw)
+                except ProtocolError as exc:
+                    raise ServiceError(
+                        "transport",
+                        f"undecodable frame response (HTTP {status}): {exc.message}",
+                        status,
+                    ) from exc
+            else:
+                try:
+                    envelope = json.loads(raw)
+                except ValueError as exc:
+                    raise ServiceError(
+                        "transport", f"non-JSON response (HTTP {status})", status
+                    ) from exc
             if isinstance(envelope, dict) and envelope.get("ok") is False:
                 error = envelope.get("error", {})
                 raise ServiceError(
@@ -103,6 +162,27 @@ class ServiceClient:
 
     def submit(self, request: Mapping[str, Any]) -> dict[str, Any]:
         """Submit a raw request dict; returns the full success envelope."""
+        if self._wire_ok:
+            try:
+                frame = encode_request_frame(request)
+            except WireEncodeError:
+                if self.wire == "binary":
+                    raise
+                frame = None  # this request rides JSON; the mode stays auto
+            if frame is not None:
+                try:
+                    return self._request(
+                        "POST",
+                        "/v1/submit",
+                        frame,
+                        content_type=WIRE_CONTENT_TYPE,
+                        accept=WIRE_CONTENT_TYPE,
+                    )
+                except ServiceError as exc:
+                    if self.wire == "auto" and exc.code in _WIRE_UNSUPPORTED_CODES:
+                        self._wire_ok = False  # old server: stay on JSON
+                    else:
+                        raise
         return self._post("/v1/submit", request)
 
     def solve(

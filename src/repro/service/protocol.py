@@ -16,7 +16,12 @@ the server and its clients share:
   bodies (exactly the canonical half of an
   :class:`~repro.api.outcome.Outcome` plus cache provenance);
 * the request types and :func:`parse_request`, re-exported so existing
-  imports keep working.
+  imports keep working;
+* the binary frame codec of :mod:`repro.service.wire`
+  (:data:`~repro.service.wire.WIRE_VERSION`,
+  :data:`~repro.service.wire.WIRE_CONTENT_TYPE` and the four
+  encode/decode functions), re-exported here because frames are as much
+  "the wire schema" as the JSON envelopes are.
 
 A request's content address (:meth:`key`) is the same buffer digest the
 batch engine's work units use — one canonicalisation shared by the
@@ -45,6 +50,14 @@ from ..api.requests import (
     SolveRequest,
     parse_request,
 )
+from .wire import (
+    WIRE_CONTENT_TYPE,
+    WIRE_VERSION,
+    decode_request_frame,
+    decode_response_frame,
+    encode_request_frame,
+    encode_response_frame,
+)
 
 __all__ = [
     "DEFAULT_PAGING_POLICIES",
@@ -52,6 +65,12 @@ __all__ = [
     "HTTP_STATUS",
     "MAX_NODES",
     "PROTOCOL_VERSION",
+    "WIRE_CONTENT_TYPE",
+    "WIRE_VERSION",
+    "decode_request_frame",
+    "decode_response_frame",
+    "encode_request_frame",
+    "encode_response_frame",
     "ProtocolError",
     "Request",
     "SolveRequest",

@@ -38,6 +38,16 @@ server is one of three interchangeable backends (see
 :class:`repro.api.backends.RemoteBackend` for the client side), which
 is why its cache entries are warm hits for local and embedded-pool
 execution too.
+
+Two content types share ``/v1/submit`` (see :mod:`repro.service.wire`):
+JSON, and the length-framed binary protocol negotiated per request via
+``Content-Type`` / ``Accept``.  Binary submissions decode straight into
+trusted prebuilt tree columns — no JSON parse, no per-element
+re-validation — which is where the burst-throughput headroom lives.
+Connections are HTTP/1.1 keep-alive with request pipelining: responses
+are written strictly in request order by a per-connection writer, while
+up to ``max_pipeline`` requests from the same connection are in flight
+at once.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ import contextlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -59,6 +70,14 @@ from .protocol import (
     error_envelope,
     ok_envelope,
     parse_request,
+)
+from .wire import (
+    JSON_CONTENT_TYPE,
+    WIRE_CONTENT_TYPE,
+    accepts_wire,
+    encode_response_frame,
+    media_type,
+    request_from_frame,
 )
 
 __all__ = [
@@ -75,6 +94,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    415: "Unsupported Media Type",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -102,6 +122,18 @@ class ServerConfig:
     #: amortise a segment, and is a no-op in inline mode.
     shm_transport: bool = True
     shm_min_nodes: int = -1  # -1 = the pool's default floor
+    #: how long an idle keep-alive connection is held open between
+    #: requests; <= 0 restores the original one-request-per-connection
+    #: behaviour (every response carries ``Connection: close``).
+    keepalive_timeout: float = 75.0
+    #: per-connection pipelining bound: how many requests from one
+    #: connection may be in flight at once (responses always come back
+    #: in request order regardless).
+    max_pipeline: int = 32
+    #: bounded in-memory LRU in front of the result cache: the hottest
+    #: entries answer without touching the executor or the disk.  Only
+    #: active when a result cache is configured; 0 disables it.
+    memo_entries: int = 4096
 
 
 @dataclass
@@ -120,6 +152,7 @@ class ServiceMetrics:
     rejected: int = 0  # 429 queue_full
     timeouts: int = 0
     errors: int = 0  # validation + execution + internal errors
+    wire_requests: int = 0  # submissions that arrived as binary frames
     deduped_inflight: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -152,6 +185,7 @@ class ServiceMetrics:
                 "rejected": self.rejected,
                 "timeouts": self.timeouts,
                 "errors": self.errors,
+                "wire": self.wire_requests,
                 "deduped_inflight": self.deduped_inflight,
             },
             "batches": self.batches,
@@ -204,6 +238,13 @@ class ServiceServer:
         self._dispatcher: asyncio.Task | None = None
         self._batch_tasks: set[asyncio.Task] = set()
         self._batch_slots: asyncio.Semaphore | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._memo: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        self._memo_hits = 0
+        # frame bytes -> request key: the frame encoding is canonical,
+        # so identical bytes are the same request — repeat frames skip
+        # the decode entirely (bounded alongside the memo)
+        self._body_keys: "OrderedDict[bytes, str]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -224,6 +265,14 @@ class ServiceServer:
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
+        # keep-alive connections idle for up to keepalive_timeout; cancel
+        # them *before* wait_closed (which on newer Pythons waits for
+        # every handler) or shutdown would hang until they time out.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
             await self._server.wait_closed()
         if self._dispatcher is not None:
             self._dispatcher.cancel()
@@ -292,6 +341,7 @@ class ServiceServer:
             loop = asyncio.get_running_loop()
             for (key, _), envelope in zip(batch, envelopes):
                 if envelope.get("ok") and self.cache is not None:
+                    self._memo_put(key, envelope["result"])
                     try:
                         # off the loop: a slow disk stalls this batch's
                         # write-back, not every open connection
@@ -323,7 +373,90 @@ class ServiceServer:
         except ProtocolError as exc:
             self.metrics.errors += 1
             return HTTP_STATUS[exc.code], error_envelope(exc.code, exc.message)
+        return await self._submit_request(request, t0)
 
+    async def _submit_wire(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        """The binary fast path: frame -> trusted tree -> typed request.
+
+        One vectorised validation inside :func:`request_from_frame`
+        replaces JSON parsing and the per-element type checks; from the
+        typed request on, the lifecycle (dedup, cache, queue, workers)
+        is byte-for-byte the JSON path's, so outcomes and cache entries
+        are interchangeable between encodings.
+        """
+        self.metrics.received += 1
+        self.metrics.wire_requests += 1
+        t0 = time.perf_counter()
+        try:
+            request = request_from_frame(body)
+        except ProtocolError as exc:
+            self.metrics.errors += 1
+            return HTTP_STATUS[exc.code], error_envelope(exc.code, exc.message)
+        return await self._submit_request(request, t0)
+
+    def _fast_submit(
+        self, body: bytes, content_type: str | None, *, binary: bool, close: bool
+    ) -> tuple[bytes, bool] | None:
+        """A fully synchronous answer for frame requests the memo holds.
+
+        Returns the rendered response, or ``None`` to send the request
+        down the ordinary pipelined path (which re-decodes — cheap next
+        to the compute a memo miss implies).  Skipping the per-request
+        task, semaphore and executor machinery roughly halves the
+        loop's cost per warm hit, which is most of a pipelined burst.
+        """
+        if not self._memo or media_type(content_type) != WIRE_CONTENT_TYPE:
+            return None
+        t0 = time.perf_counter()
+        key = self._body_keys.get(body)
+        if key is None:
+            try:
+                request = request_from_frame(body)
+            except ProtocolError:
+                return None  # the full path renders the error (and counts it)
+            key = request.key()
+            self._body_keys[bytes(body)] = key
+            while len(self._body_keys) > self.config.memo_entries:
+                self._body_keys.popitem(last=False)
+        value = self._memo_get(key)
+        if value is None:
+            return None
+        self.metrics.received += 1
+        self.metrics.wire_requests += 1
+        self.metrics.completed += 1
+        self._sync_cache_metrics()
+        self.metrics.record_latency(time.perf_counter() - t0)
+        return self._render(
+            200,
+            ok_envelope(value, key=key, cached=True),
+            binary=binary,
+            close=close,
+        )
+
+    def _memo_get(self, key: str) -> dict[str, Any] | None:
+        value = self._memo.get(key)
+        if value is not None:
+            self._memo.move_to_end(key)
+            self._memo_hits += 1
+        return value
+
+    def _memo_put(self, key: str, value: dict[str, Any]) -> None:
+        cap = self.config.memo_entries
+        if cap <= 0:
+            return
+        self._memo[key] = value
+        self._memo.move_to_end(key)
+        while len(self._memo) > cap:
+            self._memo.popitem(last=False)
+
+    def _sync_cache_metrics(self) -> None:
+        # memo hits are cache hits the disk never saw
+        self.metrics.cache_hits = self.cache.hits + self._memo_hits
+        self.metrics.cache_misses = self.cache.misses
+
+    async def _submit_request(
+        self, request: Any, t0: float
+    ) -> tuple[int, dict[str, Any]]:
         key = request.key()
         timeout = request.timeout or self.config.request_timeout
         loop = asyncio.get_running_loop()
@@ -348,12 +481,17 @@ class ServiceServer:
                 future.set_result(envelope)
             return status, envelope
 
-        # 2) serve a completed identical request from the result cache
-        #    (disk I/O happens on the default executor, never on the loop)
+        # 2) serve a completed identical request from the result cache —
+        #    hottest entries straight from the in-memory memo (no
+        #    executor hop, no disk), the rest from disk on the default
+        #    executor, never on the loop
         if self.cache is not None:
-            value = await loop.run_in_executor(None, self.cache.get, key)
-            self.metrics.cache_hits = self.cache.hits
-            self.metrics.cache_misses = self.cache.misses
+            value = self._memo_get(key)
+            if value is None:
+                value = await loop.run_in_executor(None, self.cache.get, key)
+                if value is not None:
+                    self._memo_put(key, value)
+            self._sync_cache_metrics()
             if value is not None:
                 self.metrics.completed += 1
                 self.metrics.record_latency(time.perf_counter() - t0)
@@ -406,86 +544,251 @@ class ServiceServer:
 
     def _metrics_body(self) -> dict[str, Any]:
         if self.cache is not None:
-            self.metrics.cache_hits = self.cache.hits
-            self.metrics.cache_misses = self.cache.misses
+            self._sync_cache_metrics()
         queue_depth = self._queue.qsize() if self._queue is not None else 0
         return self.metrics.snapshot(
             queue_depth=queue_depth, inflight=len(self._inflight)
         )
 
     # ------------------------------------------------------------------ #
-    # minimal HTTP/1.1 plumbing (stdlib only; one request per connection)
+    # minimal HTTP/1.1 plumbing (stdlib only; keep-alive + pipelining)
     # ------------------------------------------------------------------ #
+
+    def _render(
+        self, status: int, body: dict[str, Any], *, binary: bool, close: bool
+    ) -> tuple[bytes, bool]:
+        """One rendered HTTP response; returns ``(bytes, close_after)``."""
+        if binary:
+            payload = encode_response_frame(body)
+            content_type = WIRE_CONTENT_TYPE
+        else:
+            payload = json.dumps(body).encode("utf-8")
+            content_type = JSON_CONTENT_TYPE
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n\r\n"
+        )
+        return head.encode("ascii") + payload, close
+
+    async def _write_loop(
+        self, queue: "asyncio.Queue", writer: asyncio.StreamWriter
+    ) -> None:
+        """Drain rendered responses to the socket, strictly in order.
+
+        Queue items are awaitables resolving to ``(bytes, close_after)``
+        — pipelined requests complete in any order, but their responses
+        leave in the order the requests arrived.  Responses that are
+        ready back-to-back are coalesced into one write: under a
+        pipelined burst that turns a syscall per response into a
+        syscall per batch of ready responses.
+        """
+        ready: list[bytes] = []
+        close = False
+        try:
+            while not close:
+                if ready and queue.empty():
+                    writer.write(b"".join(ready))
+                    ready.clear()
+                    await writer.drain()
+                item = await queue.get()
+                if item is None:
+                    break
+                if ready and not item.done():
+                    writer.write(b"".join(ready))
+                    ready.clear()
+                    await writer.drain()
+                data, close = await item
+                ready.append(data)
+        finally:
+            if ready:
+                with contextlib.suppress(ConnectionError, RuntimeError):
+                    writer.write(b"".join(ready))
+                    await writer.drain()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        keepalive = self.config.keepalive_timeout
+        pipeline = asyncio.Semaphore(max(1, self.config.max_pipeline))
+        responses: asyncio.Queue = asyncio.Queue()
+        write_task = asyncio.create_task(self._write_loop(responses, writer))
+        loop = asyncio.get_running_loop()
+
+        def _enqueue_now(rendered: tuple[bytes, bool]) -> None:
+            future: asyncio.Future = loop.create_future()
+            future.set_result(rendered)
+            responses.put_nowait(future)
+
         try:
-            status, body = await self._handle_request(reader)
-            payload = json.dumps(body).encode("utf-8")
-            reason = _REASONS.get(status, "Unknown")
-            head = (
-                f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                "Connection: close\r\n\r\n"
-            )
-            writer.write(head.encode("ascii") + payload)
-            await writer.drain()
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        self._read_request(reader),
+                        keepalive if keepalive > 0 else None,
+                    )
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive connection: hang up quietly
+                except (ValueError, asyncio.LimitOverrunError):
+                    # an over-long request/header line blew the
+                    # StreamReader limit; the stream cannot be resynced
+                    _enqueue_now(self._render(
+                        400,
+                        error_envelope("bad_request", "malformed HTTP request"),
+                        binary=False, close=True,
+                    ))
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break  # client went away mid-request
+                if parsed is None:
+                    break  # clean EOF between requests
+                method, path, headers, body, oversized = parsed
+                close = (
+                    keepalive <= 0
+                    or headers.get("connection", "").strip().lower() == "close"
+                )
+                binary = accepts_wire(headers.get("accept"))
+
+                if oversized:
+                    # the body was never read; the stream cannot continue
+                    _enqueue_now(self._render(
+                        413,
+                        error_envelope(
+                            "payload_too_large",
+                            f"body of {oversized} bytes exceeds "
+                            f"{self.config.max_body_bytes}",
+                        ),
+                        binary=binary, close=True,
+                    ))
+                    break
+                if path == "/v1/submit" and method == "POST":
+                    fast = self._fast_submit(
+                        body, headers.get("content-type"),
+                        binary=binary, close=close,
+                    )
+                    if fast is not None:
+                        _enqueue_now(fast)
+                        if close:
+                            break
+                        continue
+                    # the pipelined path: handle concurrently, answer in order
+                    await pipeline.acquire()
+                    responses.put_nowait(asyncio.create_task(
+                        self._pipelined_submit(
+                            body, headers.get("content-type"), pipeline,
+                            binary=binary, close=close,
+                        )
+                    ))
+                    if close:
+                        break
+                    continue
+                status, envelope = self._route_simple(method, path)
+                _enqueue_now(self._render(status, envelope, binary=False, close=close))
+                if close:
+                    break
+            responses.put_nowait(None)
+            await write_task
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away; nothing to answer
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            if not write_task.done():
+                write_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, ConnectionError):
+                    await write_task
             with contextlib.suppress(ConnectionError):
                 writer.close()
                 await writer.wait_closed()
 
-    async def _handle_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[int, dict[str, Any]]:
-        try:
-            request_line = (await reader.readline()).decode("latin-1").strip()
-            parts = request_line.split()
-            if len(parts) < 2:
-                return 400, error_envelope("bad_request", "malformed request line")
-            method, path = parts[0], parts[1]
-
-            content_length = 0
-            while True:
-                line = (await reader.readline()).decode("latin-1")
-                if line in ("\r\n", "\n", ""):
-                    break
-                name, _, value = line.partition(":")
-                if name.strip().lower() == "content-length":
-                    try:
-                        content_length = int(value.strip())
-                    except ValueError:
-                        return 400, error_envelope(
-                            "bad_request", "bad Content-Length"
-                        )
-            if content_length < 0:
-                return 400, error_envelope("bad_request", "bad Content-Length")
-        except (ValueError, asyncio.LimitOverrunError):
-            # an over-long request/header line blew the StreamReader limit
-            return 400, error_envelope("bad_request", "malformed HTTP request")
-
+    def _route_simple(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
         if path == "/healthz" and method == "GET":
             return 200, {"ok": True, "protocol": PROTOCOL_VERSION}
         if path == "/metrics" and method == "GET":
             return 200, self._metrics_body()
         if path == "/v1/submit":
-            if method != "POST":
-                return 405, error_envelope(
-                    "method_not_allowed", f"{method} not allowed on {path}"
-                )
-            if content_length > self.config.max_body_bytes:
-                return 413, error_envelope(
-                    "payload_too_large",
-                    f"body of {content_length} bytes exceeds "
-                    f"{self.config.max_body_bytes}",
-                )
-            body = await reader.readexactly(content_length) if content_length else b""
-            return await self._submit(body)
+            return 405, error_envelope(
+                "method_not_allowed", f"{method} not allowed on {path}"
+            )
         return 404, error_envelope("not_found", f"no endpoint {method} {path}")
+
+    async def _pipelined_submit(
+        self,
+        body: bytes,
+        content_type: str | None,
+        pipeline: asyncio.Semaphore,
+        *,
+        binary: bool,
+        close: bool,
+    ) -> tuple[bytes, bool]:
+        """One submit, from negotiation to rendered bytes (pipeline-safe)."""
+        try:
+            received = media_type(content_type)
+            if received == WIRE_CONTENT_TYPE:
+                status, envelope = await self._submit_wire(body)
+            elif received in ("", JSON_CONTENT_TYPE, "text/json"):
+                status, envelope = await self._submit(body)
+            else:
+                self.metrics.errors += 1
+                status, envelope = 415, error_envelope(
+                    "unsupported_media_type",
+                    f"cannot decode a {received!r} body; send "
+                    f"{JSON_CONTENT_TYPE} or {WIRE_CONTENT_TYPE}",
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defence: a handler bug must not wedge the writer
+            status, envelope = 500, error_envelope(
+                "internal", f"unexpected failure handling request: {exc}"
+            )
+        finally:
+            pipeline.release()
+        return self._render(status, envelope, binary=binary, close=close)
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes, int] | None:
+        """Read one full request off the stream (head *and* body).
+
+        Returns ``None`` on clean EOF before a request line, else
+        ``(method, path, headers, body, oversized)`` where a non-zero
+        ``oversized`` is the declared length of a body that was *not*
+        read because it exceeds ``max_body_bytes`` (the connection must
+        close after answering 413).  Raises ``ValueError`` on malformed
+        heads — the caller answers 400 and closes.
+        """
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial.strip():
+                return None  # clean EOF between requests
+            raise  # client went away mid-head; nothing to answer
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, path = parts[0], parts[1]
+
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ValueError("bad Content-Length") from None
+        if content_length < 0:
+            raise ValueError("bad Content-Length")
+        if content_length > self.config.max_body_bytes:
+            return method, path, headers, b"", content_length
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, headers, body, 0
 
 
 class ServerThread:

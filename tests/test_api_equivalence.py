@@ -239,3 +239,117 @@ class TestBackendContractEdges:
             with pytest.raises(ProtocolError) as err:
                 pool.submit(batch)  # rejected even though the key is cached
         assert err.value.code == "unknown_kind"
+
+
+class TestCrossEncodingEquivalence:
+    """JSON and binary wire paths are one protocol, not two.
+
+    The same 48-tree harness runs over both encodings (sync JSON
+    client, sync binary client, async pipelined binary client) and
+    everything must line up exactly: byte-identical canonical Outcome
+    halves, identical cache keys, and warm hits flowing freely between
+    a JSON client and a binary client in either direction.
+    """
+
+    def test_binary_path_matches_json_path(self, requests, local_outcomes):
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config) as thread:
+            json_run = RemoteBackend(port=thread.port, wire="json").run(requests)
+            binary_run = RemoteBackend(port=thread.port, wire="binary").run(requests)
+        want_keys = [r.key() for r in requests]
+        assert [o.key for o in json_run] == want_keys
+        assert [o.key for o in binary_run] == want_keys
+        want = [o.canonical() for o in local_outcomes]
+        assert [o.canonical() for o in json_run] == want
+        assert [o.canonical() for o in binary_run] == want
+
+    def test_async_pipelined_client_matches_local(self, requests, local_outcomes):
+        import asyncio
+
+        from repro.service import AsyncServiceClient
+
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config) as thread:
+            async def run():
+                async with AsyncServiceClient(
+                    port=thread.port, wire="binary", max_connections=4
+                ) as client:
+                    return await asyncio.gather(
+                        *(client.submit(r.to_wire()) for r in requests)
+                    )
+
+            envelopes = asyncio.run(run())
+        outcomes = [
+            Outcome.from_envelope(envelope, key=request.key(), backend="remote")
+            for request, envelope in zip(requests, envelopes)
+        ]
+        assert [o.key for o in outcomes] == [o.key for o in local_outcomes]
+        assert [o.canonical() for o in outcomes] == [
+            o.canonical() for o in local_outcomes
+        ]
+
+    def test_warm_hits_flow_json_to_binary(self, tmp_path, requests):
+        root = tmp_path / "json-writes"
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config, cache=ResultCache(root)) as thread:
+            cold = RemoteBackend(port=thread.port, wire="json").run(requests)
+            assert all(not o.cached for o in cold)
+            computed_after_cold = thread.server.metrics.computed
+            warm = RemoteBackend(port=thread.port, wire="binary").run(requests)
+            assert thread.server.metrics.computed == computed_after_cold
+        assert all(o.cached for o in warm)
+        assert [o.canonical() for o in warm] == [o.canonical() for o in cold]
+
+    def test_warm_hits_flow_binary_to_json(self, tmp_path, requests):
+        root = tmp_path / "binary-writes"
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config, cache=ResultCache(root)) as thread:
+            cold = RemoteBackend(port=thread.port, wire="binary").run(requests)
+            assert all(not o.cached for o in cold)
+            computed_after_cold = thread.server.metrics.computed
+            warm = RemoteBackend(port=thread.port, wire="json").run(requests)
+            assert thread.server.metrics.computed == computed_after_cold
+        assert all(o.cached for o in warm)
+        assert [o.canonical() for o in warm] == [o.canonical() for o in cold]
+
+
+class TestBinaryCacheProvenance:
+    """Regression (PR 6): warm hits served over the binary path must
+    record exactly the provenance the JSON path records — ``cached``,
+    ``deduped``, ``backend`` and the wire status of error envelopes."""
+
+    def test_warm_hit_provenance_is_encoding_independent(self, tmp_path, requests):
+        subset = requests[:6]
+        root = tmp_path / "prov-cache"
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config, cache=ResultCache(root)) as thread:
+            RemoteBackend(port=thread.port, wire="json").run(subset)
+            warm_json = RemoteBackend(port=thread.port, wire="json").run(subset)
+            warm_binary = RemoteBackend(port=thread.port, wire="binary").run(subset)
+        for via_json, via_binary in zip(warm_json, warm_binary):
+            assert via_json.cached is True
+            assert via_binary.cached is True
+            assert via_binary.deduped == via_json.deduped
+            assert via_binary.backend == via_json.backend == "remote"
+            assert via_binary.error_status == via_json.error_status
+            assert via_binary.canonical() == via_json.canonical()
+
+    def test_error_status_parity_across_encodings(self):
+        infeasible = parse_request(
+            {
+                "kind": "solve",
+                "tree": {"parents": [-1, 0, 0], "weights": [5, 7, 9]},
+                "memory": 1,
+                "algorithm": "RecExpand",
+            }
+        )
+        config = ServerConfig(port=0, workers=0, inline_threads=2)
+        with ServerThread(config) as thread:
+            via_json = RemoteBackend(port=thread.port, wire="json").submit(infeasible)
+            via_binary = RemoteBackend(
+                port=thread.port, wire="binary"
+            ).submit(infeasible)
+        assert not via_json.ok and not via_binary.ok
+        assert via_binary.error_code == via_json.error_code == "unsolvable"
+        assert via_binary.error_status == via_json.error_status == 422
+        assert via_binary.canonical() == via_json.canonical()

@@ -90,10 +90,11 @@ OUTCOME_FIELDS = [
 ]
 
 ERROR_CODES = [
-    "bad_field", "bad_json", "bad_request", "internal", "invalid_tree",
-    "method_not_allowed", "not_found", "payload_too_large", "queue_full",
-    "timeout", "unknown_algorithm", "unknown_kind", "unknown_policy",
-    "unsolvable",
+    "bad_field", "bad_frame", "bad_json", "bad_request", "internal",
+    "invalid_tree", "method_not_allowed", "not_found", "payload_too_large",
+    "queue_full", "timeout", "unknown_algorithm", "unknown_kind",
+    "unknown_policy", "unsolvable", "unsupported_media_type",
+    "unsupported_wire_version", "version_skew",
 ]
 
 

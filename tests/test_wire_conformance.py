@@ -1,0 +1,437 @@
+"""Wire-conformance suite for the binary frame protocol.
+
+Two jobs, both about trust at the byte level:
+
+* **Golden bytes** — the exact frame layout (head offsets, codec tags,
+  column order) is pinned against hardcoded hex.  Any drift in
+  :mod:`repro.service.wire` that changes bytes on the wire fails here
+  first, deliberately: bump ``WIRE_VERSION`` and regenerate, never
+  drift silently.
+* **Fuzz** — a seeded corpus of truncated, length-lying,
+  version-skewed and bit-flipped frames.  Every mutation must yield a
+  clean :class:`~repro.api.errors.ProtocolError` (or, for bit flips
+  that happen to land on another valid frame, a complete structurally
+  sound decode) — never a crash, hang, or partial decode.  The same
+  contract is then checked end-to-end over a live socket: garbage
+  frames come back as well-formed HTTP error envelopes with frame-level
+  codes, and plain JSON clients are untouched by the negotiation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import MAX_NODES, ProtocolError, parse_request
+from repro.api.errors import HTTP_STATUS
+from repro.api.outcome import PROTOCOL_VERSION, error_envelope, ok_envelope
+from repro.api.requests import ENGINE_VERSION
+from repro.service import wire
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServerConfig, ServerThread
+from repro.service.wire import (
+    FRAME_REQUEST,
+    FRAME_RESPONSE,
+    WIRE_CONTENT_TYPE,
+    WIRE_VERSION,
+    WireEncodeError,
+    decode_request_frame,
+    decode_response_frame,
+    encode_request_frame,
+    encode_response_frame,
+    request_from_frame,
+)
+
+REQUEST = {
+    "kind": "solve",
+    "tree": {"parents": [-1, 0, 0], "weights": [2, 3, 4]},
+    "memory": 9,
+    "algorithm": "RecExpand",
+}
+
+ENVELOPE = {
+    "ok": True,
+    "protocol": 1,
+    "key": "deadbeef",
+    "cached": False,
+    "deduped": False,
+    "result": {"io_volume": 3},
+}
+
+# the pinned wire form of the two values above (wire version 1).  If a
+# deliberate layout change regenerates these, bump WIRE_VERSION with it.
+GOLDEN_REQUEST_HEX = (
+    "52494f5701010100020000004500000050000000000000006d0300000009000000616c"
+    "676f726974686d7309000000526563457870616e64040000006b696e647305000000736f"
+    "6c7665060000006d656d6f72796909000000000000000100000000000000030000000000"
+    "000000000000000000000300000000000000ffffffffffffffff00000000000000000000"
+    "000000000000020000000000000003000000000000000400000000000000"
+)
+GOLDEN_RESPONSE_HEX = (
+    "52494f5701020100020000007100000000000000000000006d060000000600000063616368"
+    "656446070000006465647570656446030000006b65797308000000646561646265656602"
+    "0000006f6b540800000070726f746f636f6c69010000000000000006000000726573756c"
+    "746d0100000009000000696f5f766f6c756d65690300000000000000"
+)
+
+
+def _mutant_is_clean(decoder, data) -> None:
+    """The conformance contract for one mutated frame."""
+    try:
+        decoder(data)
+    except ProtocolError as exc:
+        # a clean wire-status error: stable code, client-fault status
+        assert exc.code in HTTP_STATUS
+        assert exc.status in (400, 413)
+    # a successful decode is acceptable only for mutations that happen
+    # to form another valid frame (bit flips inside payload values);
+    # the decoders' own postconditions guarantee structural soundness.
+
+
+class TestGoldenBytes:
+    def test_request_frame_bytes_are_pinned(self):
+        assert encode_request_frame(REQUEST).hex() == GOLDEN_REQUEST_HEX
+
+    def test_response_frame_bytes_are_pinned(self):
+        assert encode_response_frame(ENVELOPE).hex() == GOLDEN_RESPONSE_HEX
+
+    def test_head_layout_is_pinned(self):
+        frame = encode_request_frame(REQUEST)
+        magic, version, kind, protocol, engine, hlen, plen = struct.unpack_from(
+            "<4sBBHIIQ", frame, 0
+        )
+        assert magic == b"RIOW"
+        assert version == WIRE_VERSION == 1
+        assert kind == FRAME_REQUEST == 1
+        assert protocol == PROTOCOL_VERSION
+        assert engine == ENGINE_VERSION
+        assert 24 + hlen + plen == len(frame)
+
+    def test_payload_is_the_packed_forest_layout(self):
+        frame = encode_request_frame(REQUEST)
+        hlen = struct.unpack_from("<I", frame, 12)[0]
+        words = np.frombuffer(frame, dtype="<i8", offset=24 + hlen)
+        # [n_trees, total] + offsets + parents + weights
+        assert words[:4].tolist() == [1, 3, 0, 3]
+        assert words[4:7].tolist() == [-1, 0, 0]
+        assert words[7:].tolist() == [2, 3, 4]
+
+    def test_response_head_is_pinned(self):
+        frame = encode_response_frame(ENVELOPE)
+        magic, version, kind, protocol, engine, hlen, plen = struct.unpack_from(
+            "<4sBBHIIQ", frame, 0
+        )
+        assert (magic, version, kind) == (b"RIOW", 1, FRAME_RESPONSE)
+        assert plen == 0 and 24 + hlen == len(frame)
+
+
+class TestRoundTrip:
+    def test_request_decodes_to_the_same_typed_request(self):
+        frame = encode_request_frame(REQUEST)
+        assert request_from_frame(frame) == parse_request(REQUEST)
+        assert request_from_frame(frame).key() == parse_request(REQUEST).key()
+
+    def test_response_envelope_round_trips_exactly(self):
+        for envelope in (
+            ENVELOPE,
+            ok_envelope(
+                {"io": {"0": 1, "7": 2}, "perf": 1.25, "sched": [4, 2, 0],
+                 "big": 2**90, "none": None, "flags": [True, False],
+                 "mixed": [1, "a", 2.5]},
+                key="k", cached=True, deduped=False,
+            ),
+            error_envelope("unsolvable", "no feasible traversal"),
+        ):
+            assert decode_response_frame(encode_response_frame(envelope)) == envelope
+
+    def test_floats_round_trip_bit_exact(self):
+        values = [0.1, 1e-300, 1e300, -0.0, 2.0**-1074, 3.141592653589793]
+        envelope = {"ok": True, "values": values}
+        back = decode_response_frame(encode_response_frame(envelope))
+        assert [struct.pack("<d", v) for v in back["values"]] == [
+            struct.pack("<d", v) for v in values
+        ]
+
+    def test_unframable_requests_signal_fallback(self):
+        for bad in (
+            {"kind": "solve", "memory": 1},  # no tree at all
+            {"kind": "solve", "tree": {"parents": [-1]}, "memory": 1},
+            {"kind": "solve", "tree": {"parents": [-1], "weights": [2**70]},
+             "memory": 1},  # beyond int64
+            {"kind": "solve", "tree": {"parents": [-1], "weights": ["x"]},
+             "memory": 1},
+            {"kind": "solve", "tree": {"parents": [], "weights": []},
+             "memory": 1},
+        ):
+            with pytest.raises(WireEncodeError):
+                encode_request_frame(bad)
+
+
+class TestValidationThroughFrames:
+    """The trusted decode must reject exactly what the JSON path rejects."""
+
+    def test_invalid_tree_is_invalid_tree_not_bad_frame(self):
+        frame = encode_request_frame({
+            "kind": "solve",
+            "tree": {"parents": [0, 1, 2], "weights": [1, 1, 1]},  # a cycle
+            "memory": 4,
+        })
+        with pytest.raises(ProtocolError) as err:
+            request_from_frame(frame)
+        assert err.value.code == "invalid_tree"
+
+    def test_node_limit_is_payload_too_large(self):
+        n = MAX_NODES + 1
+        parents = np.zeros(n, dtype="<i8")
+        parents[0] = -1
+        parents[1:] = 0
+        frame = encode_request_frame({
+            "kind": "solve",
+            "tree": {"parents": parents, "weights": np.ones(n, dtype="<i8")},
+            "memory": 10,
+        })
+        with pytest.raises(ProtocolError) as err:
+            request_from_frame(frame)
+        assert err.value.code == "payload_too_large"
+
+    def test_field_validation_still_runs(self):
+        frame = encode_request_frame({
+            "kind": "solve",
+            "tree": {"parents": [-1], "weights": [2]},
+            "memory": 4,
+            "algorithm": "Nope",
+        })
+        with pytest.raises(ProtocolError) as err:
+            request_from_frame(frame)
+        assert err.value.code == "unknown_algorithm"
+
+    def test_decoded_trusted_tree_matches_json_parse(self):
+        frame = encode_request_frame(REQUEST)
+        from_frame = request_from_frame(frame)
+        from_json = parse_request(json.loads(json.dumps(REQUEST)))
+        assert from_frame == from_json
+        # the trusted columns must be plain Python ints, not numpy
+        # scalars: workers re-validate payloads with exact type checks
+        assert all(type(p) is int for p in from_frame.parents)
+        assert all(type(w) is int for w in from_frame.weights)
+
+
+class TestFuzzTruncation:
+    def test_every_truncation_of_a_request_frame_is_clean(self):
+        frame = encode_request_frame(REQUEST)
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_request_frame(frame[:cut])
+
+    def test_every_truncation_of_a_response_frame_is_clean(self):
+        frame = encode_response_frame(ENVELOPE)
+        for cut in range(len(frame)):
+            with pytest.raises(ProtocolError):
+                decode_response_frame(frame[:cut])
+
+    def test_trailing_junk_is_rejected(self):
+        frame = encode_request_frame(REQUEST)
+        with pytest.raises(ProtocolError):
+            decode_request_frame(frame + b"\x00")
+
+
+class TestFuzzLengthLies:
+    """Header/payload length fields that lie must fail cleanly — and
+    must never trigger allocations sized by the lie."""
+
+    @pytest.mark.parametrize("offset,fmt", [(12, "<I"), (16, "<Q")])
+    @pytest.mark.parametrize(
+        "value", [0, 1, 7, 2**31 - 1, 2**32 - 1, 2**63 - 1, 2**64 - 1]
+    )
+    def test_lying_head_lengths(self, offset, fmt, value):
+        frame = bytearray(encode_request_frame(REQUEST))
+        try:
+            struct.pack_into(fmt, frame, offset, value)
+        except struct.error:
+            pytest.skip("value does not fit the field")
+        with pytest.raises(ProtocolError) as err:
+            decode_request_frame(bytes(frame))
+        assert err.value.code == "bad_frame"
+
+    def test_lying_codec_counts(self):
+        # inflate every u32 that prefixes a codec length/count; the
+        # decoder must bound-check against remaining bytes, not allocate
+        frame = bytearray(encode_request_frame(REQUEST))
+        hlen = struct.unpack_from("<I", frame, 12)[0]
+        for pos in range(24, 24 + hlen - 3):
+            mutant = bytearray(frame)
+            struct.pack_into("<I", mutant, pos, 2**32 - 1)
+            _mutant_is_clean(decode_request_frame, bytes(mutant))
+
+    def test_lying_tree_head(self):
+        # n_trees and total live in the payload head; lie about both
+        frame = bytearray(encode_request_frame(REQUEST))
+        hlen = struct.unpack_from("<I", frame, 12)[0]
+        base = 24 + hlen
+        for word, value in [(0, 2), (0, 0), (0, -1), (1, 10**6), (1, -3)]:
+            mutant = bytearray(frame)
+            struct.pack_into("<q", mutant, base + 8 * word, value)
+            with pytest.raises(ProtocolError) as err:
+                decode_request_frame(bytes(mutant))
+            assert err.value.code == "bad_frame"
+
+
+class TestFuzzVersionSkew:
+    def test_wire_version_mismatch(self):
+        frame = bytearray(encode_request_frame(REQUEST))
+        for version in (0, 2, 255):
+            mutant = bytearray(frame)
+            mutant[4] = version
+            with pytest.raises(ProtocolError) as err:
+                decode_request_frame(bytes(mutant))
+            assert err.value.code == "unsupported_wire_version"
+
+    def test_protocol_and_engine_skew(self):
+        frame = encode_request_frame(REQUEST)
+        skewed_protocol = bytearray(frame)
+        struct.pack_into("<H", skewed_protocol, 6, PROTOCOL_VERSION + 1)
+        skewed_engine = bytearray(frame)
+        struct.pack_into("<I", skewed_engine, 8, ENGINE_VERSION + 7)
+        for mutant in (skewed_protocol, skewed_engine):
+            with pytest.raises(ProtocolError) as err:
+                decode_request_frame(bytes(mutant))
+            assert err.value.code == "version_skew"
+
+    def test_frame_kind_confusion(self):
+        request = encode_request_frame(REQUEST)
+        response = encode_response_frame(ENVELOPE)
+        with pytest.raises(ProtocolError) as err:
+            decode_request_frame(response)
+        assert err.value.code == "bad_frame"
+        with pytest.raises(ProtocolError) as err:
+            decode_response_frame(request)
+        assert err.value.code == "bad_frame"
+
+
+class TestFuzzBitFlips:
+    """Seeded single- and multi-bit corruption over the whole frame."""
+
+    def test_request_frame_bit_flips(self):
+        frame = encode_request_frame(REQUEST)
+        rng = np.random.default_rng(0x52494F57)
+        for _ in range(600):
+            mutant = bytearray(frame)
+            for _ in range(int(rng.integers(1, 4))):
+                pos = int(rng.integers(0, len(mutant)))
+                mutant[pos] ^= 1 << int(rng.integers(0, 8))
+            _mutant_is_clean(decode_request_frame, bytes(mutant))
+            _mutant_is_clean(request_from_frame, bytes(mutant))
+
+    def test_response_frame_bit_flips(self):
+        frame = encode_response_frame(ENVELOPE)
+        rng = np.random.default_rng(0x574F4952)
+        for _ in range(600):
+            mutant = bytearray(frame)
+            for _ in range(int(rng.integers(1, 4))):
+                pos = int(rng.integers(0, len(mutant)))
+                mutant[pos] ^= 1 << int(rng.integers(0, 8))
+            _mutant_is_clean(decode_response_frame, bytes(mutant))
+
+    def test_random_garbage(self):
+        rng = np.random.default_rng(20170417)
+        for _ in range(300):
+            size = int(rng.integers(0, 256))
+            blob = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+            _mutant_is_clean(decode_request_frame, blob)
+            _mutant_is_clean(decode_response_frame, blob)
+
+
+# --------------------------------------------------------------------- #
+# the same contract, end to end over a live socket
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, workers=0, inline_threads=2)
+    with ServerThread(config) as thread:
+        yield thread
+
+
+def _post_raw(thread, body: bytes, content_type: str, accept: str | None = None):
+    import http.client
+
+    conn = http.client.HTTPConnection(thread.host, thread.port, timeout=10)
+    try:
+        headers = {"Content-Type": content_type}
+        if accept:
+            headers["Accept"] = accept
+        conn.request("POST", "/v1/submit", body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.getheader("Content-Type"), response.read()
+    finally:
+        conn.close()
+
+
+class TestServerConformance:
+    def test_garbage_frame_is_a_400_bad_frame(self, server):
+        status, ctype, raw = _post_raw(server, b"not a frame", WIRE_CONTENT_TYPE)
+        assert status == 400
+        body = json.loads(raw)
+        assert body["error"]["code"] == "bad_frame"
+
+    def test_truncated_frame_over_the_socket(self, server):
+        frame = encode_request_frame(REQUEST)
+        status, _, raw = _post_raw(server, frame[:40], WIRE_CONTENT_TYPE)
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "bad_frame"
+
+    def test_version_skewed_frame_over_the_socket(self, server):
+        mutant = bytearray(encode_request_frame(REQUEST))
+        struct.pack_into("<I", mutant, 8, ENGINE_VERSION + 1)
+        status, _, raw = _post_raw(server, bytes(mutant), WIRE_CONTENT_TYPE)
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "version_skew"
+
+    def test_unknown_media_type_is_a_415(self, server):
+        status, _, raw = _post_raw(server, b"<xml/>", "application/xml")
+        assert status == 415
+        assert json.loads(raw)["error"]["code"] == "unsupported_media_type"
+
+    def test_binary_accept_gets_a_frame_response(self, server):
+        frame = encode_request_frame(REQUEST)
+        status, ctype, raw = _post_raw(
+            server, frame, WIRE_CONTENT_TYPE, accept=WIRE_CONTENT_TYPE
+        )
+        assert status == 200
+        assert ctype.split(";")[0].strip() == WIRE_CONTENT_TYPE
+        envelope = decode_response_frame(raw)
+        assert envelope["ok"] is True
+
+    def test_json_clients_are_untouched(self, server):
+        # the exact pre-frame client behaviour: JSON in, JSON out
+        client = ServiceClient(port=server.port, wire="json")
+        envelope = client.submit(REQUEST)
+        assert envelope["ok"] is True
+        status, ctype, raw = _post_raw(
+            server, json.dumps(REQUEST).encode(), "application/json"
+        )
+        assert status == 200 and ctype.split(";")[0] == "application/json"
+        assert json.loads(raw)["ok"] is True
+
+    def test_json_and_binary_answer_identically(self, server):
+        client_json = ServiceClient(port=server.port, wire="json")
+        client_bin = ServiceClient(port=server.port, wire="binary")
+        e1 = client_json.submit(REQUEST)
+        e2 = client_bin.submit(REQUEST)
+        assert e1["result"] == e2["result"]
+        assert e1["key"] == e2["key"]
+
+    def test_frame_error_codes_surface_through_the_client(self, server):
+        client = ServiceClient(port=server.port, wire="binary")
+        with pytest.raises(ServiceError) as err:
+            client.submit({
+                "kind": "solve",
+                "tree": {"parents": [0, 1], "weights": [1, 1]},
+                "memory": 2,
+            })
+        assert err.value.code == "invalid_tree"
+        assert err.value.status == 400
