@@ -417,3 +417,109 @@ def test_binary_async_burst_vs_json(tmp_path, batch_jobs, emit):
         f"binary+async must be >= {BINARY_SPEEDUP_MIN}x the JSON path, "
         f"got {speedup:.2f}x ({stats})"
     )
+
+
+# --------------------------------------------------------------------- #
+# observability overhead: metrics on (tracing off) vs everything off
+# --------------------------------------------------------------------- #
+
+OBS_OVERHEAD_MAX = float(os.environ.get("OBS_OVERHEAD_MAX", "0.03"))
+OBS_WARM_PASSES = 3
+
+
+def test_observability_overhead_is_negligible(tmp_path, batch_jobs, emit):
+    """The observability tax, gated: metrics on must cost <= {OBS_OVERHEAD_MAX:.0%}.
+
+    The default server counts every request into the metrics registry
+    (tracing stays per-request opt-in and is *off* here — the claimed
+    near-zero path).  The baseline server runs ``observability=False``,
+    which no-ops every counter.  Both replay the {BURST_TREES}-request
+    warm burst over the pipelined binary path — pure wire + bookkeeping,
+    no compute — best of {OBS_WARM_PASSES} passes each, so the gate
+    measures exactly the per-request cost the registry adds.
+    """
+    requests = _burst_requests()
+    stats: dict[str, dict] = {}
+    lines = [
+        f"workers={batch_jobs} clients={BURST_CLIENTS} "
+        f"requests={BURST_TREES} warm_passes={OBS_WARM_PASSES} "
+        f"gate<={OBS_OVERHEAD_MAX:.1%}",
+        f"{'mode':>12} {'elapsed':>9} {'trees/s':>9} "
+        f"{'p50 ms':>8} {'p99 ms':>8}",
+    ]
+    for mode, observability in (("baseline", False), ("metrics-on", True)):
+        cache = ResultCache(tmp_path / f"cache-{mode}")
+        config = ServerConfig(
+            port=0,
+            workers=batch_jobs,
+            queue_limit=max(64, 4 * BURST_CLIENTS),
+            max_batch=64,
+            batch_window_ms=2.0,
+            shm_min_nodes=0,
+            observability=observability,
+        )
+        with ServerThread(config, cache=cache) as server:
+            server.server.pool.warm_up()
+            client = ServiceClient(port=server.port)
+            assert client.wait_ready(30)
+            # cold pass fills the cache (unmeasured: compute-bound)
+            _, _, errors = _drive(server.port, BURST_CLIENTS, requests)
+            assert not errors, f"{mode} cold pass dropped {len(errors)}"
+            best = None
+            for _ in range(OBS_WARM_PASSES):
+                elapsed, latencies, errors, _served = _drive_async(
+                    server.port, BURST_CLIENTS, requests, wire="binary"
+                )
+                assert not errors, f"{mode}: dropped {len(errors)}"
+                assert len(latencies) == BURST_TREES
+                if best is None or elapsed < best[0]:
+                    best = (elapsed, latencies)
+            elapsed, latencies = best
+            metrics = client.metrics()
+            if observability:
+                assert metrics["requests"]["rejected"] == 0
+                assert metrics["requests"]["received"] > 0
+            else:
+                # the baseline truly counts nothing
+                assert metrics["requests"]["received"] == 0
+        stats[mode] = {
+            "elapsed_s": round(elapsed, 3),
+            "trees_per_s": round(BURST_TREES / elapsed, 1),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 2),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 2),
+        }
+        lines.append(
+            f"{mode:>12} {elapsed:>8.2f}s {BURST_TREES / elapsed:>9,.0f} "
+            f"{stats[mode]['p50_ms']:>8.1f} {stats[mode]['p99_ms']:>8.1f}"
+        )
+
+    overhead = 1.0 - (
+        stats["metrics-on"]["trees_per_s"] / stats["baseline"]["trees_per_s"]
+    )
+    lines.append(f"observability overhead: {overhead:+.2%} (gate {OBS_OVERHEAD_MAX:.1%})")
+    emit("service_obs_overhead", "\n".join(lines))
+
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "BENCH_obs.json").write_text(
+        json.dumps(
+            {
+                "bench": "observability_overhead",
+                "workers": batch_jobs,
+                "clients": BURST_CLIENTS,
+                "requests": BURST_TREES,
+                "warm_passes": OBS_WARM_PASSES,
+                "baseline": stats["baseline"],
+                "metrics_on": stats["metrics-on"],
+                "overhead": round(overhead, 4),
+                "gate": OBS_OVERHEAD_MAX,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert overhead <= OBS_OVERHEAD_MAX, (
+        f"metrics-on warm burst must stay within {OBS_OVERHEAD_MAX:.1%} of "
+        f"the observability-off baseline, lost {overhead:.2%} ({stats})"
+    )

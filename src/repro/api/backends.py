@@ -122,8 +122,18 @@ class _CachingBackend:
     #: depends on cache state.
     supports_batch = False
 
-    def __init__(self, cache: ResultCache | None = None):
+    def __init__(self, cache: ResultCache | None = None, *, registry=None):
         self.cache = cache
+        if registry is None:
+            from ..obs.metrics import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        self._requests_counter = registry.counter(
+            "requests_total", "requests submitted, by surface"
+        ).labels(backend=self.name or "backend")
+        if cache is not None and getattr(cache, "_hit_counter", None) is None:
+            cache.bind_registry(registry)
 
     def submit(self, request) -> Outcome:
         return self.run([request])[0]
@@ -137,6 +147,7 @@ class _CachingBackend:
                 "batch requests execute locally; submit their member "
                 "solves individually or use LocalBackend",
             )
+        self._requests_counter.inc(len(requests))
         outcomes: list[Outcome | None] = [None] * len(requests)
         misses: list[int] = []
         for i, request in enumerate(requests):
@@ -193,8 +204,14 @@ class LocalBackend(_CachingBackend):
     name = "local"
     supports_batch = True
 
-    def __init__(self, cache: ResultCache | None = None, *, seed_rng: bool = True):
-        super().__init__(cache)
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        *,
+        seed_rng: bool = True,
+        registry=None,
+    ):
+        super().__init__(cache, registry=registry)
         self.seed_rng = seed_rng
 
     def _execute(self, requests: Sequence[Any]) -> list[Outcome]:
@@ -245,8 +262,9 @@ class PoolBackend(_CachingBackend):
         pool: "WorkerPool | None" = None,
         shm_transport: bool = True,
         shm_min_nodes: int | None = None,
+        registry=None,
     ):
-        super().__init__(cache)
+        super().__init__(cache, registry=registry)
         self._owns_pool = pool is None
         if pool is None:
             from ..service.pool import WorkerPool
@@ -311,8 +329,9 @@ class RemoteBackend(_CachingBackend):
         cache: ResultCache | None = None,
         timeout: float = 120.0,
         wire: str = "auto",
+        registry=None,
     ):
-        super().__init__(cache)
+        super().__init__(cache, registry=registry)
         if client is None:
             from ..service.client import ServiceClient
 

@@ -34,6 +34,8 @@ from ..core.forest_kernels import (
 from ..core.simulator import InfeasibleSchedule
 from ..core.traversal import InvalidTraversal, validate
 from ..core.tree import TaskTree, TreeError
+from ..obs.schedtrace import schedule_trace
+from ..obs.trace import span, trace_context
 from .outcome import error_envelope, ok_envelope
 from .requests import (
     BatchRequest,
@@ -94,7 +96,7 @@ def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
         tree = build_tree(request.parents, request.weights)
     traversal = get_algorithm(request.algorithm)(tree, request.memory)
     validate(tree, traversal, request.memory)
-    return {
+    result = {
         "kind": "solve",
         "algorithm": request.algorithm,
         "memory": request.memory,
@@ -103,6 +105,16 @@ def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
         "schedule": list(traversal.schedule),
         "io": {str(v): a for v, a in enumerate(traversal.io) if a},
     }
+    if getattr(request, "trace_schedule", False):
+        # the memory hill-valley curve + cumulative I/O, derived from the
+        # solver's own outputs — inside the result so cache entries under
+        # the flag-inclusive key always carry it
+        trace = schedule_trace(
+            request.parents, request.weights, traversal.schedule, traversal.io
+        )
+        result["schedule_trace"] = trace
+        result["peak_memory"] = trace["peak_memory"]
+    return result
 
 
 def run_paging(request: PagingRequest, *, tree=None) -> dict[str, Any]:
@@ -196,14 +208,24 @@ def execute_request(
     key = request.key()
     if seed_rng:
         random.seed(unit_seed(key))
-    try:
-        # Thread-local scope: inline (thread-pool) workers honour each
-        # request's engine without clobbering their batch-mates'.
-        with engine_scope(request.engine):
-            result = _RUNNERS[request.kind](request, tree=tree)
-    except UNSOLVABLE_ERRORS as exc:
-        return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
-    return ok_envelope(result, key=key)
+    trace_id = getattr(request, "trace", None)
+    if trace_id is None:
+        try:
+            # Thread-local scope: inline (thread-pool) workers honour each
+            # request's engine without clobbering their batch-mates'.
+            with engine_scope(request.engine):
+                result = _RUNNERS[request.kind](request, tree=tree)
+        except UNSOLVABLE_ERRORS as exc:
+            return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
+        return ok_envelope(result, key=key)
+    # traced request: time the solver stage into the request's breakdown
+    with trace_context(trace_id) as trace:
+        try:
+            with engine_scope(request.engine), span("solve"):
+                result = _RUNNERS[request.kind](request, tree=tree)
+        except UNSOLVABLE_ERRORS as exc:
+            return error_envelope("unsolvable", f"{type(exc).__name__}: {exc}")
+        return ok_envelope(result, key=key, timings=trace.stages)
 
 
 def execute_batch_request(

@@ -54,13 +54,17 @@ def ok_envelope(
     key: str,
     cached: bool = False,
     deduped: bool = False,
+    timings: Mapping[str, float] | None = None,
 ) -> dict[str, Any]:
     """The uniform success response body.
 
     ``cached`` — served from the on-disk result cache; ``deduped`` —
-    coalesced onto an identical in-flight request's computation.
+    coalesced onto an identical in-flight request's computation;
+    ``timings`` — the per-stage timing breakdown of a traced request
+    (provenance: the key is absent entirely when tracing is off, so
+    untraced envelopes are byte-identical to the historical shape).
     """
-    return {
+    envelope = {
         "ok": True,
         "protocol": PROTOCOL_VERSION,
         "key": key,
@@ -68,6 +72,9 @@ def ok_envelope(
         "deduped": deduped,
         "result": dict(result),
     }
+    if timings:
+        envelope["timings"] = dict(timings)
+    return envelope
 
 
 @dataclass(frozen=True)
@@ -90,6 +97,10 @@ class Outcome:
     deduped: bool = False
     backend: str = ""
     elapsed_seconds: float = 0.0
+    #: per-stage timing breakdown of a traced request (``decode``,
+    #: ``queue``, ``solve``, ``cache``, ``encode`` — seconds per stage);
+    #: ``None`` unless the request carried a trace id.
+    timings: Mapping[str, float] | None = None
 
     @classmethod
     def from_envelope(
@@ -109,6 +120,7 @@ class Outcome:
         the envelope came over one.
         """
         if envelope.get("ok"):
+            timings = envelope.get("timings")
             return cls(
                 ok=True,
                 key=str(envelope.get("key", key)),
@@ -117,6 +129,7 @@ class Outcome:
                 deduped=bool(envelope.get("deduped", False)),
                 backend=backend,
                 elapsed_seconds=elapsed_seconds,
+                timings=dict(timings) if timings else None,
             )
         error = envelope.get("error", {})
         return cls(
@@ -135,7 +148,11 @@ class Outcome:
         if self.ok:
             assert self.result is not None
             return ok_envelope(
-                self.result, key=self.key, cached=self.cached, deduped=self.deduped
+                self.result,
+                key=self.key,
+                cached=self.cached,
+                deduped=self.deduped,
+                timings=self.timings,
             )
         return error_envelope(self.error_code or "internal", self.error_message or "")
 

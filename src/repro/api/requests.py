@@ -42,6 +42,7 @@ from typing import Any, Mapping
 from ..core.engine import ENGINES
 from ..core.tree import TaskTree, TreeError
 from ..datasets.store import cache_key_buffers
+from ..obs.trace import MAX_TRACE_ID
 from .errors import ProtocolError
 
 __all__ = [
@@ -205,6 +206,30 @@ def _parse_timeout(obj: Mapping[str, Any]) -> float | None:
     return float(timeout)
 
 
+def _parse_trace(obj: Mapping[str, Any]) -> str | None:
+    """The optional client trace id: a delivery knob, never part of the key."""
+    trace = obj.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, str) or not (1 <= len(trace) <= MAX_TRACE_ID):
+        raise _fail(
+            "bad_field",
+            f"'trace' must be a string of 1..{MAX_TRACE_ID} characters",
+        )
+    return trace
+
+
+def _parse_trace_schedule(obj: Mapping[str, Any], kind: str) -> bool:
+    flag = obj.get("trace_schedule", False)
+    if type(flag) is not bool:
+        raise _fail("bad_field", f"'trace_schedule' must be a boolean, got {flag!r}")
+    if flag and kind != "solve":
+        raise _fail(
+            "bad_field", "'trace_schedule' is only supported on 'solve' requests"
+        )
+    return flag
+
+
 @dataclass(frozen=True)
 class SolveRequest(CanonicalRequest):
     """Run one registered strategy on one tree."""
@@ -215,25 +240,40 @@ class SolveRequest(CanonicalRequest):
     algorithm: str
     timeout: float | None = None
     engine: str = "auto"
+    #: opt into a per-request schedule trace (memory hill-valley curve +
+    #: cumulative I/O) in the result; **part of the key** when set, since
+    #: it changes the result payload.
+    trace_schedule: bool = False
+    #: optional client trace id: activates span timing along the request
+    #: path.  A delivery knob like ``timeout`` — never part of the key.
+    trace: str | None = None
 
     kind = "solve"
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "tree": {"parents": list(self.parents), "weights": list(self.weights)},
             "memory": self.memory,
             "algorithm": self.algorithm,
             "engine": self.engine,
         }
+        if self.trace_schedule:
+            payload["trace_schedule"] = True
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     def key_params(self) -> dict[str, Any]:
-        return {
+        params = {
             "kind": "service-solve",
             "version": ENGINE_VERSION,
             "memory": self.memory,
             "algorithm": self.algorithm,
         }
+        if self.trace_schedule:
+            params["trace_schedule"] = True
+        return params
 
     def key_buffers(self) -> Mapping[str, Any]:
         return {"parents": self.parents, "weights": self.weights}
@@ -252,11 +292,12 @@ class PagingRequest(CanonicalRequest):
     seed: int
     timeout: float | None = None
     engine: str = "auto"
+    trace: str | None = None
 
     kind = "paging"
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "tree": {"parents": list(self.parents), "weights": list(self.weights)},
             "memory": self.memory,
@@ -266,6 +307,9 @@ class PagingRequest(CanonicalRequest):
             "seed": self.seed,
             "engine": self.engine,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     def key_params(self) -> dict[str, Any]:
         return {
@@ -293,11 +337,12 @@ class ExactRequest(CanonicalRequest):
     node_limit: int
     timeout: float | None = None
     engine: str = "auto"
+    trace: str | None = None
 
     kind = "exact"
 
     def to_payload(self) -> dict[str, Any]:
-        return {
+        payload = {
             "kind": self.kind,
             "tree": {"parents": list(self.parents), "weights": list(self.weights)},
             "memory": self.memory,
@@ -305,6 +350,9 @@ class ExactRequest(CanonicalRequest):
             "node_limit": self.node_limit,
             "engine": self.engine,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     def key_params(self) -> dict[str, Any]:
         return {
@@ -433,6 +481,8 @@ def parse_request(obj: Any, *, trusted_tree=None) -> Request:
     memory = _require_int(obj.get("memory"), "memory", lo=1, hi=10**15)
     timeout = _parse_timeout(obj)
     engine = _parse_engine(obj)
+    trace = _parse_trace(obj)
+    trace_schedule = _parse_trace_schedule(obj, kind)
 
     if kind == "solve":
         return SolveRequest(
@@ -442,6 +492,8 @@ def parse_request(obj: Any, *, trusted_tree=None) -> Request:
             algorithm=_parse_algorithm(obj),
             timeout=timeout,
             engine=engine,
+            trace_schedule=trace_schedule,
+            trace=trace,
         )
 
     if kind == "paging":
@@ -468,6 +520,7 @@ def parse_request(obj: Any, *, trusted_tree=None) -> Request:
             seed=_require_int(obj.get("seed", 0), "seed", lo=0, hi=2**32 - 1),
             timeout=timeout,
             engine=engine,
+            trace=trace,
         )
 
     return ExactRequest(
@@ -480,4 +533,5 @@ def parse_request(obj: Any, *, trusted_tree=None) -> Request:
         node_limit=_require_int(obj.get("node_limit", 24), "node_limit", lo=1, hi=64),
         timeout=timeout,
         engine=engine,
+        trace=trace,
     )

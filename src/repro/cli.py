@@ -317,6 +317,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shm_transport=args.forest,
         keepalive_timeout=args.keepalive_timeout,
         max_pipeline=args.max_pipeline,
+        dashboard=args.dashboard,
     )
     server = ServiceServer(config)
     server.pool.warm_up()
@@ -327,6 +328,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache={cache_dir or 'off'})",
         flush=True,
     )
+    if config.dashboard:
+        print(
+            f"dashboard on http://{config.host}:{config.port}/dash", flush=True
+        )
     try:
         server.run()
     except KeyboardInterrupt:
@@ -356,11 +361,39 @@ def _build_submit_request(args: argparse.Namespace) -> dict[str, Any]:
     if args.kind == "exact":
         request["max_states"] = args.max_states
         request["node_limit"] = args.node_limit
+    if getattr(args, "trace_schedule", False):
+        from .obs import new_trace_id
+
+        # the full observability round trip: a trace id for the stage
+        # breakdown plus the schedule-trace flag for the memory curve
+        request["trace_schedule"] = True
+        request["trace"] = new_trace_id()
     return request
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .api import RemoteBackend, parse_request
+
+    if args.probe:
+        from .service.client import ServiceClient
+
+        info = ServiceClient(args.host, args.port).health()
+        versions = info.get("versions", {})
+        print(f"server ok (protocol v{info.get('protocol', '?')})")
+        for name in ("repro", "protocol", "wire", "engine"):
+            if name in versions:
+                print(f"  {name:<9} {versions[name]}")
+        return 0
+    if args.tree is None or args.memory is None:
+        print(
+            "error: --tree and --memory are required (unless --probe)",
+            file=sys.stderr,
+        )
+        return EXIT_BAD_INPUT
+    if args.trace_schedule and args.kind != "solve":
+        print("error: --trace-schedule applies to solve requests only",
+              file=sys.stderr)
+        return EXIT_BAD_INPUT
 
     # The same typed request the offline commands build; validation
     # failures are caught here, before any bytes hit the network, with
@@ -382,6 +415,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             {int(v): a for v, a in result["io"].items()},
             show_schedule=args.show_schedule,
         )
+        if "schedule_trace" in result:
+            trace = result["schedule_trace"]
+            print(
+                f"schedule trace: {len(trace['memory'])} events, "
+                f"peak memory {trace['peak_memory']}, "
+                f"cumulative io {trace['io_volume']}"
+            )
+        if outcome.timings:
+            stages = "  ".join(
+                f"{name}={seconds * 1000.0:.2f}ms"
+                for name, seconds in sorted(outcome.timings.items())
+            )
+            print(f"stage timings : {stages}")
     elif args.kind == "paging":
         print(
             f"schedule from {result['algorithm']}; memory {result['memory']}, "
@@ -399,6 +445,65 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(f"  {name:<16} io = {row['io_volume']:6d}   gap = {row['gap']:7.2%}")
     if outcome.cached:
         print("(served from result cache)", file=sys.stderr)
+    return 0
+
+
+def _print_dash_once(client) -> None:
+    metrics = client.metrics()
+    req = metrics["requests"]
+    cache = metrics["cache"]
+    latency = metrics["latency_ms"]
+    looked = cache["hits"] + cache["misses"]
+    hit_rate = f"{100.0 * cache['hits'] / looked:.1f}%" if looked else "n/a"
+    by_encoding = req.get("by_encoding", {})
+    print(
+        f"up {metrics['uptime_seconds']:.0f}s   "
+        f"queue {metrics['queue_depth']}   inflight {metrics['inflight']}"
+    )
+    print(
+        f"requests  {req['received']} received "
+        f"({by_encoding.get('json', 0)} json / "
+        f"{by_encoding.get('binary', 0)} binary), "
+        f"{req['completed']} completed, {req['computed']} computed, "
+        f"{req['deduped_inflight']} deduped"
+    )
+    print(
+        f"errors    {req['errors']} errors, {req['rejected']} rejected, "
+        f"{req['timeouts']} timeouts"
+    )
+    print(
+        f"cache     {hit_rate} hit rate "
+        f"({cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache.get('memo_hits', 0)} memo)"
+    )
+    print(
+        f"latency   p50 {latency['p50']:.2f}ms  p90 {latency['p90']:.2f}ms  "
+        f"p99 {latency['p99']:.2f}ms  max {latency['max']:.2f}ms  "
+        f"({latency['count']} in window)"
+    )
+    by_strategy = req.get("by_strategy", {})
+    if by_strategy:
+        print("by strategy:")
+        for name, count in sorted(by_strategy.items()):
+            print(f"  {name:<20} {count}")
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    if args.watch <= 0:
+        _print_dash_once(client)
+        return 0
+    try:
+        while True:
+            print(f"--- {args.host}:{args.port} ---")
+            _print_dash_once(client)
+            _time.sleep(args.watch)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -586,14 +691,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-pipeline", type=int, default=32,
         help="pipelined requests in flight per connection (default: 32)",
     )
+    p.add_argument(
+        "--dashboard", action="store_true",
+        help="serve the live ops dashboard at /dash",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("submit", help="submit one request to a running service")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8177)
     p.add_argument("--kind", default="solve", choices=("solve", "paging", "exact"))
-    p.add_argument("--tree", required=True)
-    p.add_argument("--memory", type=int, required=True)
+    p.add_argument("--tree", help="tree JSON file (required unless --probe)")
+    p.add_argument("--memory", type=int, help="memory bound (required unless --probe)")
     p.add_argument("--algorithm", default="RecExpand", choices=_ALL_STRATEGIES)
     p.add_argument("--show-schedule", action="store_true")
     p.add_argument("--page-size", type=int, default=1)
@@ -615,7 +724,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit encoding: binary frames with JSON fallback (auto, "
              "the default), frames only, or JSON only",
     )
+    p.add_argument(
+        "--probe", action="store_true",
+        help="just check the server: print its version info and exit",
+    )
+    p.add_argument(
+        "--trace-schedule", action="store_true",
+        help="solve only: return the schedule trace (memory curve + "
+             "cumulative I/O) and the per-stage timing breakdown",
+    )
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "dash", help="one-shot terminal view of a running server's metrics"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8177)
+    p.add_argument(
+        "--watch", type=float, default=0.0,
+        help="refresh every N seconds instead of printing once",
+    )
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser("demo", help="quick end-to-end demonstration")
     p.set_defaults(func=_cmd_demo)

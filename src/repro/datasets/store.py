@@ -271,6 +271,23 @@ class ResultCache:
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
+        self._hit_counter = None  # registry mirrors, see bind_registry()
+        self._miss_counter = None
+
+    def bind_registry(self, registry) -> None:
+        """Mirror hits/misses into a :class:`repro.obs.MetricsRegistry`.
+
+        Hits count as ``cache_hits_total{tier="disk"}`` (the in-memory
+        memo tier in front of this cache reports its own hits); the
+        plain :attr:`hits`/:attr:`misses` attributes keep working for
+        the batch engine's report provenance.
+        """
+        self._hit_counter = registry.counter(
+            "cache_hits_total", "result-cache hits by tier"
+        ).labels(tier="disk")
+        self._miss_counter = registry.counter(
+            "cache_misses_total", "result-cache misses"
+        )
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -282,8 +299,12 @@ class ResultCache:
             value = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
             return None
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return value
 
     #: distinguishes temp files written by different threads of one process;

@@ -368,6 +368,15 @@ def _execute_units(
     are returned in the order of ``units`` regardless of completion
     order.
     """
+    from ..obs.metrics import get_registry
+
+    registry = get_registry()
+    units_counter = registry.counter(
+        "batch_units_total", "batch-engine work units, by how they resolved"
+    )
+    if cache is not None and getattr(cache, "_hit_counter", None) is None:
+        cache.bind_registry(registry)
+
     results: list[dict[str, Any] | None] = [None] * len(units)
     pending: list[int] = []
     for i, unit in enumerate(units):
@@ -376,6 +385,7 @@ def _execute_units(
             hit = cache.get(unit.key())
             if hit is not None:
                 results[i] = hit
+                units_counter.labels(source="cache").inc()
                 continue
         pending.append(i)
 
@@ -389,6 +399,7 @@ def _execute_units(
         nonlocal done_here
         results[i] = result
         stats.units_computed += 1
+        units_counter.labels(source="computed").inc()
         done_here += 1
         if cache is not None:
             cache.put(

@@ -1,0 +1,53 @@
+"""``repro.obs`` — the observability layer: metrics, spans, traces.
+
+Three small, dependency-free pieces shared by every execution surface:
+
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters, gauges and bounded histograms, rendered as the
+  service's legacy JSON shape or Prometheus text exposition;
+* :mod:`repro.obs.trace` — contextvar-propagated span tracing: a
+  request-scoped stage-timing breakdown that crosses the wire and the
+  worker-process boundary via an optional ``trace`` request field;
+* :mod:`repro.obs.schedtrace` — per-request schedule traces: the
+  memory hill-valley curve and cumulative I/O of a solved traversal,
+  computed from kernel outputs behind the ``trace_schedule`` flag.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    get_registry,
+)
+from .schedtrace import schedule_trace
+from .trace import (
+    MAX_TRACE_ID,
+    Trace,
+    current_trace,
+    current_trace_id,
+    new_trace_id,
+    span,
+    trace_context,
+)
+
+__all__ = [
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    # spans
+    "MAX_TRACE_ID",
+    "Trace",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+    "trace_context",
+    # schedule traces
+    "schedule_trace",
+]

@@ -1,0 +1,285 @@
+"""Process-wide metrics: counters, gauges, bounded histograms.
+
+One registry, one vocabulary, two renderings.  Every layer of the stack
+— the HTTP service, the execution backends, the worker pool, the batch
+engine, the result cache — counts into the same small set of metric
+primitives, and the registry renders them either as the service's
+legacy JSON shape or as Prometheus text exposition.
+
+Design constraints, in order:
+
+* **Near-zero hot-path cost.**  ``Counter.inc`` is one attribute add;
+  label resolution (``counter.labels(encoding="json")``) returns a
+  cached child counter, so call sites resolve their labels once at
+  setup and keep the bare child.  Only :class:`Histogram` takes a lock
+  (its ring and running sum must stay consistent across the asyncio
+  loop recording latencies and scrape threads reading them).
+* **Bounded memory.**  Histograms keep a fixed-size ring of the most
+  recent observations — percentiles are exact over that window — plus
+  a running total count and sum that never reset (the Prometheus
+  ``_count``/``_sum`` series).
+* **Exact legacy percentiles.**  ``Histogram.percentile`` is the
+  service's historical formula (``sorted[min(len - 1, int(q * len))]``)
+  so the JSON ``/metrics`` shape stays numerically identical.
+
+Counters tolerate concurrent increments (a ``+=`` per call; under the
+GIL a racing increment can at worst be lost, never corrupted), which is
+the right trade for per-request counting; anything that must be exact
+is incremented from a single thread (the service's event loop).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+]
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: tuple[tuple[str, str], ...]) -> str:
+    return "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+
+
+class Counter:
+    """A monotonic counter, optionally with labelled children.
+
+    ``labels(**kv)`` returns a child counter cached per label set; the
+    parent's :attr:`value` is its own count plus the sum of all
+    children, so a call site may mix labelled and unlabelled
+    increments without double counting.
+    """
+
+    __slots__ = ("name", "help", "_value", "_children")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._children: dict[tuple[tuple[str, str], ...], Counter] = {}
+
+    def labels(self, **labels: Any) -> "Counter":
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children.setdefault(key, Counter(self.name))
+        return child
+
+    def inc(self, amount: int | float = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value + sum(c._value for c in self._children.values())
+
+    def child_values(self) -> dict[str, int | float]:
+        """``{label-value: count}`` for single-label counters (JSON shape)."""
+        out: dict[str, int | float] = {}
+        for key, child in self._children.items():
+            label = ",".join(v for _, v in key)
+            out[label] = child._value
+        return out
+
+    def _series(self) -> list[tuple[str, int | float]]:
+        lines: list[tuple[str, int | float]] = []
+        if self._value or not self._children:
+            lines.append(("", self._value))
+        for key in sorted(self._children):
+            lines.append((_format_labels(key), self._children[key]._value))
+        return lines
+
+
+class Gauge:
+    """A point-in-time value: either set directly or read via callback."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value: int | float = 0
+        self._fn: Callable[[], int | float] | None = None
+
+    def set(self, value: int | float) -> None:
+        self._value = value
+
+    def set_function(self, fn: Callable[[], int | float]) -> None:
+        """Read the gauge from ``fn`` at scrape time (e.g. queue depth)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> int | float:
+        if self._fn is not None:
+            try:
+                return self._fn()
+            except Exception:
+                return 0
+        return self._value
+
+
+class Histogram:
+    """Bounded sliding-window histogram with exact percentile summaries.
+
+    The ring keeps the most recent ``window`` observations; summaries
+    are exact percentiles over that window.  ``total_count`` and
+    ``total_sum`` accumulate forever (the Prometheus series).  All
+    mutation and window reads take the same lock, so a thread scraping
+    ``summary()`` mid-burst sees a consistent window.
+    """
+
+    __slots__ = ("name", "help", "_window", "_ring", "_count", "_sum", "_lock")
+
+    def __init__(self, name: str, help: str = "", window: int = 4096):
+        if window <= 0:
+            raise ValueError(f"histogram window must be positive, got {window}")
+        self.name = name
+        self.help = help
+        self._window = window
+        self._ring: list[float] = [0.0] * window
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._ring[self._count % self._window] = value
+            self._count += 1
+            self._sum += value
+
+    @property
+    def total_count(self) -> int:
+        return self._count
+
+    @property
+    def total_sum(self) -> float:
+        return self._sum
+
+    def window_values(self) -> list[float]:
+        """The current window, oldest observation first."""
+        with self._lock:
+            if self._count <= self._window:
+                return self._ring[: self._count]
+            split = self._count % self._window
+            return self._ring[split:] + self._ring[:split]
+
+    @staticmethod
+    def percentile(sorted_values: list[float], q: float) -> float:
+        """The service's historical formula, kept bit-for-bit."""
+        if not sorted_values:
+            return 0.0
+        index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+        return sorted_values[index]
+
+    def summary(self, *, scale: float = 1.0) -> dict[str, float]:
+        """``{count, p50, p90, p99, max}`` over the window (legacy shape)."""
+        values = sorted(v * scale for v in self.window_values())
+        return {
+            "count": len(values),
+            "p50": self.percentile(values, 0.50),
+            "p90": self.percentile(values, 0.90),
+            "p99": self.percentile(values, 0.99),
+            "max": values[-1] if values else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one process (or server).
+
+    The service holds its own registry per instance (test isolation);
+    library layers default to the module-level :data:`REGISTRY`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self.started_at = time.time()
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "", window: int = 4096) -> Histogram:
+        return self._get(Histogram, name, help, window=window)
+
+    def snapshot(self) -> dict[str, Any]:
+        """``{name: value}`` — labelled counters expand to sub-dicts."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, Any] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Counter):
+                if metric._children:
+                    out[name] = {"total": metric.value, **metric.child_values()}
+                else:
+                    out[name] = metric.value
+            elif isinstance(metric, Gauge):
+                out[name] = metric.value
+            else:
+                summary = metric.summary()
+                summary["total_count"] = metric.total_count
+                summary["total_sum"] = metric.total_sum
+                out[name] = summary
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of every metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        lines: list[str] = []
+        for name, metric in sorted(metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                for labels, value in metric._series():
+                    lines.append(f"{name}{labels} {value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {metric.value}")
+            else:
+                lines.append(f"# TYPE {name} summary")
+                values = sorted(metric.window_values())
+                for q in (0.5, 0.9, 0.99):
+                    lines.append(
+                        f'{name}{{quantile="{q}"}} '
+                        f"{Histogram.percentile(values, q)}"
+                    )
+                lines.append(f"{name}_count {metric.total_count}")
+                lines.append(f"{name}_sum {metric.total_sum}")
+        return "\n".join(lines) + "\n"
+
+
+#: the process-wide default registry: what library layers (backends,
+#: batch engine, worker pool) count into unless handed another one.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

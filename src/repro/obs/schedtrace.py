@@ -1,0 +1,108 @@
+"""Per-request schedule traces: the memory hill-valley curve of a solve.
+
+The paper's central objects are a traversal's memory profile and the
+I/O volume it induces; this module turns a solved traversal into the
+curve an operator actually looks at — memory demand over event index,
+with cumulative I/O alongside — computed from existing kernel outputs
+(``schedule`` + per-node ``io``), no re-solve.
+
+The walk mirrors :func:`repro.core.trace.replay` event for event (reads
+restoring evicted inputs, execute with its transient :math:`\\bar w_v`
+footprint, the write spilling fresh output), so the curve's maximum
+equals the replay's ``peak_memory`` *exactly* — that identity is pinned
+by tests and is the acceptance bar for ``trace_schedule`` requests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["schedule_trace"]
+
+#: one char per event in the trace's ``kinds`` string.
+_READ, _EXECUTE, _WRITE = "r", "x", "w"
+
+
+def schedule_trace(
+    parents: Sequence[int],
+    weights: Sequence[int],
+    schedule: Sequence[int],
+    io: Sequence[int],
+) -> dict[str, Any]:
+    """The event-indexed memory/I/O curve of one solved traversal.
+
+    Parameters mirror the solver's outputs: ``schedule`` is the
+    execution order, ``io`` the per-node write amounts (index-aligned
+    with the tree).  Returns::
+
+        {"version": 1,
+         "nodes":         [node id per event],
+         "kinds":         "rxwrx..."   (r=read, x=execute, w=write),
+         "memory":        [memory demand at each event],
+         "cumulative_io": [write volume after each event],
+         "peak_memory":   max(memory),
+         "io_volume":     cumulative_io[-1]}
+
+    ``memory[i]`` is exactly the capacity check :func:`repro.core.trace.
+    replay` performs at the corresponding event (the resident total
+    after a read, the transient ``wbar + resident`` at an execute, the
+    resident total after a write), so ``peak_memory`` matches the
+    replay's and the solver's reported peak bit for bit.
+    """
+    n = len(parents)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        p = int(parents[v])
+        if p >= 0:
+            children[p].append(v)
+
+    resident = [0] * n
+    resident_total = 0
+    cumulative = 0
+    nodes: list[int] = []
+    kinds: list[str] = []
+    memory: list[int] = []
+    cumulative_io: list[int] = []
+
+    def record(kind: str, node: int, need: int) -> None:
+        nodes.append(node)
+        kinds.append(kind)
+        memory.append(need)
+        cumulative_io.append(cumulative)
+
+    for v in schedule:
+        v = int(v)
+        # reads: restore every evicted input right before the consumer
+        for c in children[v]:
+            amount = int(io[c])
+            if amount:
+                resident[c] += amount
+                resident_total += amount
+                record(_READ, c, resident_total)
+        # execute: free the inputs, provision the transient footprint
+        inputs = 0
+        for c in children[v]:
+            inputs += int(weights[c])
+            resident_total -= resident[c]
+            resident[c] = 0
+        wbar = max(int(weights[v]), inputs)
+        record(_EXECUTE, v, wbar + resident_total)
+        resident[v] = int(weights[v])
+        resident_total += resident[v]
+        # write: spill the fresh output right after production
+        amount = int(io[v])
+        if amount:
+            resident[v] -= amount
+            resident_total -= amount
+            cumulative += amount
+            record(_WRITE, v, resident_total)
+
+    return {
+        "version": 1,
+        "nodes": nodes,
+        "kinds": "".join(kinds),
+        "memory": memory,
+        "cumulative_io": cumulative_io,
+        "peak_memory": max(memory) if memory else 0,
+        "io_volume": cumulative,
+    }

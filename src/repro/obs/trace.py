@@ -1,0 +1,99 @@
+"""Lightweight span tracing with contextvar propagation.
+
+A *trace* is a request-scoped accumulator of stage timings keyed by a
+client-chosen trace id.  The active trace rides a :class:`~contextvars.
+ContextVar`, so spans opened anywhere down the call stack — the
+service's decode path, a worker process's solver call — land in the
+right request's breakdown without threading a handle through every
+signature.
+
+The id crosses process boundaries as an ordinary optional request field
+(``trace``): the JSON body and the binary wire header both carry it
+unchanged, the server re-activates it per request, and worker processes
+re-activate it per payload.  When no trace is active, :func:`span` is a
+single ``ContextVar.get`` — cheap enough to leave in hot paths
+unconditionally.
+
+Stage vocabulary used by the service (see ``docs/architecture.md``):
+``decode`` (parse/validate), ``cache`` (memo + disk lookup), ``queue``
+(admission-queue wait), ``solve`` (worker compute), ``encode``
+(response rendering).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "MAX_TRACE_ID",
+    "Trace",
+    "current_trace",
+    "current_trace_id",
+    "new_trace_id",
+    "span",
+    "trace_context",
+]
+
+#: upper bound on accepted trace-id length (request validation).
+MAX_TRACE_ID = 64
+
+_ACTIVE: ContextVar["Trace | None"] = ContextVar("repro_obs_trace", default=None)
+
+
+@dataclass
+class Trace:
+    """One request's accumulated stage timings (seconds per stage)."""
+
+    trace_id: str
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char id (random, not time-derived)."""
+    return os.urandom(8).hex()
+
+
+def current_trace() -> Trace | None:
+    return _ACTIVE.get()
+
+
+def current_trace_id() -> str | None:
+    trace = _ACTIVE.get()
+    return trace.trace_id if trace is not None else None
+
+
+@contextmanager
+def trace_context(trace_id: str | None = None) -> Iterator[Trace]:
+    """Activate a fresh :class:`Trace` for the enclosed block."""
+    trace = Trace(trace_id if trace_id else new_trace_id())
+    token = _ACTIVE.set(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE.reset(token)
+
+
+@contextmanager
+def span(name: str) -> Iterator[Trace | None]:
+    """Time the enclosed block into the active trace's ``name`` stage.
+
+    A no-op (one contextvar read) when no trace is active, so call
+    sites need no conditional of their own.
+    """
+    trace = _ACTIVE.get()
+    if trace is None:
+        yield None
+        return
+    t0 = time.perf_counter()
+    try:
+        yield trace
+    finally:
+        trace.add(name, time.perf_counter() - t0)

@@ -383,7 +383,18 @@ class AsyncServiceClient:
 
         Concurrency is the caller's: ``asyncio.gather`` many ``submit``
         coroutines and they pipeline over the pool.
+
+        Like the synchronous client, an active
+        :func:`repro.obs.trace_context` id rides along on requests that
+        do not name their own, so the response envelope carries the
+        per-stage timing breakdown.
         """
+        if "trace" not in request:
+            from ..obs.trace import current_trace_id
+
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                request = dict(request, trace=trace_id)
         if self._wire_ok:
             frame: bytes | None
             try:

@@ -161,7 +161,20 @@ class ServiceClient:
     # ---------------------------------------------------------------- #
 
     def submit(self, request: Mapping[str, Any]) -> dict[str, Any]:
-        """Submit a raw request dict; returns the full success envelope."""
+        """Submit a raw request dict; returns the full success envelope.
+
+        When the calling context holds an active trace
+        (:func:`repro.obs.trace_context`) and the request does not name
+        its own trace id, the context's id rides along — the server and
+        its workers then stamp the response envelope with the
+        per-stage timing breakdown.
+        """
+        if "trace" not in request:
+            from ..obs.trace import current_trace_id
+
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                request = dict(request, trace=trace_id)
         if self._wire_ok:
             try:
                 frame = encode_request_frame(request)

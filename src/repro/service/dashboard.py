@@ -1,0 +1,227 @@
+"""The live ops dashboard behind ``serve --dashboard``.
+
+Three pieces, all stdlib + :mod:`repro.viz`:
+
+* :data:`DASHBOARD_HTML` — a single self-contained page (no external
+  assets, no frameworks) that polls ``GET /dash/data`` every couple of
+  seconds and redraws its panels: queue depth, cache hit rate, latency
+  percentiles, request counters by encoding and strategy, per-strategy
+  I/O-volume distributions, and a table of recent requests with
+  drill-down links to their schedule-trace SVGs;
+* :func:`dashboard_data` — the JSON the page polls, assembled from the
+  server's metrics snapshot plus its bounded recent-request ring;
+* :func:`render_trace_svg` — one cached result's schedule trace (see
+  :func:`repro.obs.schedule_trace`) rendered through
+  :func:`repro.viz.schedule_trace_chart`, served at
+  ``GET /dash/trace/<key>``.
+
+The server only imports this module when the dashboard is enabled, so
+a plain service never pays for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from ..viz import schedule_trace_chart
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import ServiceServer
+
+__all__ = ["DASHBOARD_HTML", "dashboard_data", "render_trace_svg"]
+
+
+def dashboard_data(server: "ServiceServer") -> dict[str, Any]:
+    """Everything one poll of the dashboard needs, as one JSON object."""
+    snapshot = server._metrics_body()
+    recent = list(server._recent)
+    # per-strategy I/O-volume distributions over the recent window: the
+    # panel wants spread, not just totals, so ship summary quantiles
+    by_strategy: dict[str, list[float]] = {}
+    for entry in recent:
+        algorithm = entry.get("algorithm")
+        io = entry.get("io_volume")
+        if algorithm and io is not None:
+            by_strategy.setdefault(algorithm, []).append(float(io))
+    from ..obs.metrics import Histogram
+
+    io_distributions = {}
+    for algorithm, volumes in sorted(by_strategy.items()):
+        ordered = sorted(volumes)
+        io_distributions[algorithm] = {
+            "count": len(ordered),
+            "min": ordered[0],
+            "p50": Histogram.percentile(ordered, 0.50),
+            "p90": Histogram.percentile(ordered, 0.90),
+            "max": ordered[-1],
+        }
+    return {
+        "metrics": snapshot,
+        "recent": recent,
+        "io_distributions": io_distributions,
+    }
+
+
+def render_trace_svg(result: dict[str, Any], key: str) -> str:
+    """The schedule-trace drill-down view for one cached result."""
+    trace = result["schedule_trace"]
+    algorithm = result.get("algorithm", "?")
+    return schedule_trace_chart(
+        trace,
+        result.get("memory"),
+        title=f"{algorithm} — schedule trace {key[:12]}…",
+    )
+
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro-ioschedule — live ops</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 0;
+         background: #111418; color: #e6e6e6; }
+  header { padding: 12px 20px; background: #1a1f26;
+           border-bottom: 1px solid #2a313b;
+           display: flex; align-items: baseline; gap: 16px; }
+  header h1 { font-size: 16px; margin: 0; font-weight: 600; }
+  header .sub { color: #8a97a6; font-size: 12px; }
+  main { padding: 16px 20px; max-width: 1100px; margin: 0 auto; }
+  .cards { display: grid; gap: 12px;
+           grid-template-columns: repeat(auto-fit, minmax(160px, 1fr)); }
+  .card { background: #1a1f26; border: 1px solid #2a313b;
+          border-radius: 8px; padding: 12px 14px; }
+  .card .label { color: #8a97a6; font-size: 11px;
+                 text-transform: uppercase; letter-spacing: .06em; }
+  .card .value { font-size: 26px; font-weight: 600; margin-top: 2px;
+                 font-variant-numeric: tabular-nums; }
+  .card .hint { color: #8a97a6; font-size: 11px; }
+  h2 { font-size: 13px; color: #8a97a6; text-transform: uppercase;
+       letter-spacing: .06em; margin: 22px 0 8px; }
+  table { border-collapse: collapse; width: 100%; font-size: 13px; }
+  th, td { text-align: left; padding: 4px 10px 4px 0;
+           border-bottom: 1px solid #232a33;
+           font-variant-numeric: tabular-nums; }
+  th { color: #8a97a6; font-weight: 500; }
+  td a { color: #6bb2ff; text-decoration: none; }
+  td a:hover { text-decoration: underline; }
+  .ok { color: #57c78a; } .warn { color: #e6b35a; }
+  #error { color: #e06c75; padding: 8px 0; display: none; }
+</style>
+</head>
+<body>
+<header>
+  <h1>repro-ioschedule</h1>
+  <span class="sub" id="uptime">connecting…</span>
+</header>
+<main>
+  <div id="error"></div>
+  <div class="cards">
+    <div class="card"><div class="label">Queue depth</div>
+      <div class="value" id="queue_depth">–</div>
+      <div class="hint" id="inflight"></div></div>
+    <div class="card"><div class="label">Cache hit rate</div>
+      <div class="value" id="hit_rate">–</div>
+      <div class="hint" id="hit_detail"></div></div>
+    <div class="card"><div class="label">Latency p50 / p90 / p99 (ms)</div>
+      <div class="value" id="latency">–</div>
+      <div class="hint" id="latency_count"></div></div>
+    <div class="card"><div class="label">Requests</div>
+      <div class="value" id="requests">–</div>
+      <div class="hint" id="req_detail"></div></div>
+    <div class="card"><div class="label">Errors / rejected</div>
+      <div class="value" id="errors">–</div>
+      <div class="hint" id="err_detail"></div></div>
+  </div>
+
+  <h2>Requests by strategy</h2>
+  <table id="strategies"><thead>
+    <tr><th>strategy</th><th>requests</th></tr></thead><tbody></tbody></table>
+
+  <h2>I/O volume by strategy (recent window)</h2>
+  <table id="io_dist"><thead>
+    <tr><th>strategy</th><th>n</th><th>min</th><th>p50</th><th>p90</th>
+        <th>max</th></tr></thead><tbody></tbody></table>
+
+  <h2>Recent requests</h2>
+  <table id="recent"><thead>
+    <tr><th>age</th><th>kind</th><th>strategy</th><th>io</th><th>ms</th>
+        <th>source</th><th>trace</th></tr></thead><tbody></tbody></table>
+</main>
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const fmt = (x) => (x === null || x === undefined) ? "–"
+  : (typeof x === "number" && !Number.isInteger(x)) ? x.toFixed(1) : String(x);
+
+function fill(tableId, rows) {
+  const body = $(tableId).querySelector("tbody");
+  body.innerHTML = "";
+  for (const cells of rows) {
+    const tr = document.createElement("tr");
+    for (const cell of cells) {
+      const td = document.createElement("td");
+      if (cell && cell.href) {
+        const a = document.createElement("a");
+        a.href = cell.href; a.textContent = cell.text; a.target = "_blank";
+        td.appendChild(a);
+      } else { td.textContent = fmt(cell); }
+      tr.appendChild(td);
+    }
+    body.appendChild(tr);
+  }
+}
+
+async function tick() {
+  let data;
+  try {
+    const response = await fetch("/dash/data", {cache: "no-store"});
+    if (!response.ok) throw new Error("HTTP " + response.status);
+    data = await response.json();
+    $("error").style.display = "none";
+  } catch (err) {
+    $("error").textContent = "poll failed: " + err;
+    $("error").style.display = "block";
+    return;
+  }
+  const m = data.metrics, req = m.requests, cache = m.cache, lat = m.latency_ms;
+  $("uptime").textContent =
+    "up " + Math.round(m.uptime_seconds) + "s · protocol v" + m.protocol;
+  $("queue_depth").textContent = fmt(m.queue_depth);
+  $("inflight").textContent = m.inflight + " in flight";
+  const looked = cache.hits + cache.misses;
+  $("hit_rate").textContent =
+    looked ? (100 * cache.hits / looked).toFixed(1) + "%" : "–";
+  $("hit_detail").textContent =
+    cache.hits + " hits (" + cache.memo_hits + " memo) / "
+    + cache.misses + " misses";
+  $("latency").textContent =
+    fmt(lat.p50) + " / " + fmt(lat.p90) + " / " + fmt(lat.p99);
+  $("latency_count").textContent = lat.count + " in window";
+  $("requests").textContent = fmt(req.received);
+  $("req_detail").textContent =
+    req.by_encoding.json + " json · " + req.by_encoding.binary + " binary · "
+    + req.deduped_inflight + " deduped";
+  $("errors").textContent = req.errors + " / " + req.rejected;
+  $("err_detail").textContent = req.timeouts + " timeouts";
+  fill("strategies",
+       Object.entries(req.by_strategy || {}).sort()
+             .map(([name, count]) => [name, count]));
+  fill("io_dist",
+       Object.entries(data.io_distributions || {}).map(([name, d]) =>
+         [name, d.count, d.min, d.p50, d.p90, d.max]));
+  const now = Date.now() / 1000;
+  fill("recent", (data.recent || []).slice().reverse().map((r) => [
+    Math.max(0, now - r.ts).toFixed(0) + "s",
+    r.kind, r.algorithm, r.io_volume, r.elapsed_ms,
+    r.deduped ? "deduped" : (r.cached ? "cache" : "computed"),
+    r.traced ? {href: "/dash/trace/" + r.key, text: "view"} : "–",
+  ]));
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+"""

@@ -298,6 +298,10 @@ class WorkerPool:
         total-node floor per micro-batch below which the pickle path is
         used even with the transport on (see
         :data:`SHM_MIN_BATCH_NODES`); 0 packs every batch.
+    registry:
+        a :class:`repro.obs.MetricsRegistry` to count batches into
+        (``pool_batches_total{transport=shm|pickle}``); defaults to the
+        process-wide registry.
     """
 
     def __init__(
@@ -307,9 +311,20 @@ class WorkerPool:
         inline_threads: int = 1,
         shm_transport: bool = True,
         shm_min_nodes: int = SHM_MIN_BATCH_NODES,
+        registry=None,
     ):
         if jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
+        if registry is None:
+            from ..obs.metrics import get_registry
+
+            registry = get_registry()
+        self.registry = registry
+        batches = registry.counter(
+            "pool_batches_total", "micro-batches executed, by transport"
+        )
+        self._shm_batch_counter = batches.labels(transport="shm")
+        self._pickle_batch_counter = batches.labels(transport="pickle")
         self.jobs = jobs
         self.shm_transport = bool(shm_transport) and jobs >= 1
         self.shm_min_nodes = shm_min_nodes
@@ -355,6 +370,7 @@ class WorkerPool:
                 raise
             if packed is not None:
                 self.shm_batches += 1
+                self._shm_batch_counter.inc()
                 shm, stripped = packed
                 try:
                     return await loop.run_in_executor(
@@ -367,6 +383,7 @@ class WorkerPool:
                     _release_shm(shm)
         # Seed only in process workers (one batch at a time per process);
         # inline threads share one interpreter, where seeding is a race.
+        self._pickle_batch_counter.inc()
         return await loop.run_in_executor(
             self._executor, execute_many, payloads, self.jobs >= 1
         )

@@ -57,11 +57,13 @@ import contextlib
 import json
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from ..api.requests import ENGINE_VERSION
 from ..datasets.store import ResultCache
+from ..obs.metrics import Histogram, MetricsRegistry
 from .pool import WorkerPool
 from .protocol import (
     HTTP_STATUS,
@@ -74,6 +76,7 @@ from .protocol import (
 from .wire import (
     JSON_CONTENT_TYPE,
     WIRE_CONTENT_TYPE,
+    WIRE_VERSION,
     accepts_wire,
     encode_response_frame,
     media_type,
@@ -134,45 +137,183 @@ class ServerConfig:
     #: entries answer without touching the executor or the disk.  Only
     #: active when a result cache is configured; 0 disables it.
     memo_entries: int = 4096
+    #: serve the live ops dashboard (``GET /dash``) and track a bounded
+    #: ring of recent requests for its panels; off by default.
+    dashboard: bool = False
+    #: count requests into the metrics registry.  On by default; turning
+    #: it off makes every counter update a no-op — the baseline the
+    #: tracing-overhead benchmark gate compares against.
+    observability: bool = True
 
 
-@dataclass
 class ServiceMetrics:
-    """Counters the ``/metrics`` endpoint exposes.
+    """The service's view over one :class:`~repro.obs.MetricsRegistry`.
 
-    Latencies are kept in a bounded ring (most recent ~4096 completed
-    requests) and summarised into percentiles at scrape time.
+    Historically a bag of plain counters; now a facade that owns the
+    hot-path label resolution (child counters are resolved once, here)
+    and renders the registry into the legacy JSON ``/metrics`` shape.
+    The historical read attributes (``received``, ``computed``,
+    ``cache_hits``, ...) remain as properties, and latency percentiles
+    use the registry histogram's exact legacy formula, so existing
+    scrapers and tests see identical numbers.
+
+    With ``enabled=False`` every increment is a no-op — the baseline
+    the tracing-overhead benchmark compares the default against.
     """
 
-    started_at: float = field(default_factory=time.time)
-    received: int = 0
-    completed: int = 0
-    computed: int = 0  # requests that actually reached a worker
-    batches: int = 0
-    rejected: int = 0  # 429 queue_full
-    timeouts: int = 0
-    errors: int = 0  # validation + execution + internal errors
-    wire_requests: int = 0  # submissions that arrived as binary frames
-    deduped_inflight: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    _latencies_ms: list[float] = field(default_factory=list)
-    _max_latencies: int = 4096
+    def __init__(
+        self, registry: MetricsRegistry | None = None, *, enabled: bool = True
+    ):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.enabled = enabled
+        self.started_at = self.registry.started_at
+        r = self.registry
+        self._requests = r.counter(
+            "requests_total", "requests received, by submit encoding"
+        )
+        self._req_json = self._requests.labels(encoding="json")
+        self._req_binary = self._requests.labels(encoding="binary")
+        self._by_strategy = r.counter(
+            "requests_by_strategy_total", "admitted requests by algorithm"
+        )
+        self._completed = r.counter(
+            "requests_completed_total", "requests answered 200"
+        )
+        self._computed = r.counter(
+            "requests_computed_total", "requests that reached a worker"
+        )
+        self._batches = r.counter("batches_total", "micro-batches dispatched")
+        self._rejected = r.counter(
+            "requests_rejected_total", "429 queue_full rejections"
+        )
+        self._timeouts = r.counter(
+            "requests_timeout_total", "504 per-request deadline expiries"
+        )
+        self._errors = r.counter(
+            "requests_error_total", "validation + execution + internal errors"
+        )
+        self._deduped = r.counter(
+            "requests_deduped_total", "requests coalesced onto in-flight twins"
+        )
+        cache_hits = r.counter("cache_hits_total", "result-cache hits by tier")
+        self._memo_hits = cache_hits.labels(tier="memo")
+        self._disk_hits = cache_hits.labels(tier="disk")
+        self._cache_misses = r.counter(
+            "cache_misses_total", "result-cache misses"
+        )
+        self._latency = r.histogram(
+            "solve_seconds", "request latency in seconds (bounded window)"
+        )
+        wire_bytes = r.counter(
+            "wire_bytes_total", "HTTP payload bytes, by direction"
+        )
+        self._rx_bytes = wire_bytes.labels(direction="rx")
+        self._tx_bytes = wire_bytes.labels(direction="tx")
+
+    # -- hot-path increments (each one guarded no-op when disabled) ---- #
+
+    def inc_received(self, *, binary: bool) -> None:
+        if self.enabled:
+            (self._req_binary if binary else self._req_json).inc()
+
+    def record_strategy(self, name: str) -> None:
+        if self.enabled:
+            self._by_strategy.labels(strategy=name).inc()
+
+    def inc_completed(self) -> None:
+        if self.enabled:
+            self._completed.inc()
+
+    def inc_computed(self, amount: int = 1) -> None:
+        if self.enabled:
+            self._computed.inc(amount)
+
+    def inc_batches(self) -> None:
+        if self.enabled:
+            self._batches.inc()
+
+    def inc_rejected(self) -> None:
+        if self.enabled:
+            self._rejected.inc()
+
+    def inc_timeouts(self) -> None:
+        if self.enabled:
+            self._timeouts.inc()
+
+    def inc_errors(self) -> None:
+        if self.enabled:
+            self._errors.inc()
+
+    def inc_deduped(self) -> None:
+        if self.enabled:
+            self._deduped.inc()
+
+    def inc_memo_hit(self) -> None:
+        if self.enabled:
+            self._memo_hits.inc()
 
     def record_latency(self, seconds: float) -> None:
-        self._latencies_ms.append(seconds * 1000.0)
-        if len(self._latencies_ms) > self._max_latencies:
-            del self._latencies_ms[: -self._max_latencies]
+        if self.enabled:
+            self._latency.observe(seconds)
 
-    @staticmethod
-    def _percentile(sorted_values: list[float], q: float) -> float:
-        if not sorted_values:
-            return 0.0
-        index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
-        return sorted_values[index]
+    def add_rx(self, nbytes: int) -> None:
+        if self.enabled and nbytes:
+            self._rx_bytes.inc(nbytes)
+
+    def add_tx(self, nbytes: int) -> None:
+        if self.enabled:
+            self._tx_bytes.inc(nbytes)
+
+    # -- the historical read attributes, now derived ------------------- #
+
+    @property
+    def received(self) -> int:
+        return self._req_json._value + self._req_binary._value
+
+    @property
+    def wire_requests(self) -> int:
+        return self._req_binary._value
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def computed(self) -> int:
+        return self._computed.value
+
+    @property
+    def batches(self) -> int:
+        return self._batches.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def timeouts(self) -> int:
+        return self._timeouts.value
+
+    @property
+    def errors(self) -> int:
+        return self._errors.value
+
+    @property
+    def deduped_inflight(self) -> int:
+        return self._deduped.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._memo_hits._value + self._disk_hits._value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._cache_misses.value
+
+    #: the historical percentile formula, shared with the histogram
+    _percentile = staticmethod(Histogram.percentile)
 
     def snapshot(self, *, queue_depth: int, inflight: int) -> dict[str, Any]:
-        lat = sorted(self._latencies_ms)
         return {
             "protocol": PROTOCOL_VERSION,
             "uptime_seconds": time.time() - self.started_at,
@@ -187,15 +328,23 @@ class ServiceMetrics:
                 "errors": self.errors,
                 "wire": self.wire_requests,
                 "deduped_inflight": self.deduped_inflight,
+                "by_encoding": {
+                    "json": self._req_json._value,
+                    "binary": self._req_binary._value,
+                },
+                "by_strategy": self._by_strategy.child_values(),
             },
             "batches": self.batches,
-            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
-            "latency_ms": {
-                "count": len(lat),
-                "p50": self._percentile(lat, 0.50),
-                "p90": self._percentile(lat, 0.90),
-                "p99": self._percentile(lat, 0.99),
-                "max": lat[-1] if lat else 0.0,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "memo_hits": self._memo_hits._value,
+                "disk_hits": self._disk_hits._value,
+            },
+            "latency_ms": self._latency.summary(scale=1000.0),
+            "wire_bytes": {
+                "rx": self._rx_bytes._value,
+                "tx": self._tx_bytes._value,
             },
         }
 
@@ -230,9 +379,26 @@ class ServiceServer:
                 **kwargs,
             )
         self.pool = pool
-        self.metrics = ServiceMetrics()
+        # Every server owns its registry: scrapes and tests see exactly
+        # this instance's traffic, never another server's in the same
+        # process (the library surfaces share the module-global one).
+        self.registry = MetricsRegistry()
+        self.metrics = ServiceMetrics(
+            self.registry, enabled=config.observability
+        )
+        if self.cache is not None and config.observability:
+            self.cache.bind_registry(self.registry)
+        self.registry.gauge("queue_depth", "admission-queue depth").set_function(
+            lambda: self._queue.qsize() if self._queue is not None else 0
+        )
+        self.registry.gauge("inflight", "in-flight request keys").set_function(
+            lambda: len(self._inflight)
+        )
         self.port: int | None = None  # bound port, set by start()
-        self._queue: asyncio.Queue[tuple[str, dict[str, Any]]] | None = None
+        # queue items: (key, payload, enqueue perf_counter, timings|None)
+        self._queue: asyncio.Queue[
+            tuple[str, dict[str, Any], float, dict[str, float] | None]
+        ] | None = None
         self._inflight: dict[str, asyncio.Future] = {}
         self._server: asyncio.AbstractServer | None = None
         self._dispatcher: asyncio.Task | None = None
@@ -240,11 +406,14 @@ class ServiceServer:
         self._batch_slots: asyncio.Semaphore | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._memo: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
-        self._memo_hits = 0
         # frame bytes -> request key: the frame encoding is canonical,
         # so identical bytes are the same request — repeat frames skip
         # the decode entirely (bounded alongside the memo)
         self._body_keys: "OrderedDict[bytes, str]" = OrderedDict()
+        # bounded ring of recently answered requests, feeding the
+        # dashboard's tables; only populated when the dashboard is on
+        self._recent: deque[dict[str, Any]] = deque(maxlen=256)
+        self._track_recent = config.dashboard
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -326,21 +495,27 @@ class ServiceServer:
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
 
-    async def _run_batch(self, batch: list[tuple[str, dict[str, Any]]]) -> None:
+    async def _run_batch(
+        self,
+        batch: list[tuple[str, dict[str, Any], float, dict[str, float] | None]],
+    ) -> None:
         assert self._batch_slots is not None
+        t_batch = time.perf_counter()
         try:
-            payloads = [payload for _, payload in batch]
+            payloads = [payload for _, payload, _, _ in batch]
             try:
                 envelopes = await self.pool.run_batch(payloads)
             except Exception as exc:  # pool death is an internal error
                 envelopes = [
                     error_envelope("internal", f"worker pool failure: {exc}")
                 ] * len(batch)
-            self.metrics.batches += 1
-            self.metrics.computed += len(batch)
+            self.metrics.inc_batches()
+            self.metrics.inc_computed(len(batch))
             loop = asyncio.get_running_loop()
-            for (key, _), envelope in zip(batch, envelopes):
+            for (key, _, enqueued_at, timings), envelope in zip(batch, envelopes):
                 if envelope.get("ok") and self.cache is not None:
+                    # timings never reach the cache: stage breakdowns are
+                    # provenance of *this* execution, not of the result
                     self._memo_put(key, envelope["result"])
                     try:
                         # off the loop: a slow disk stalls this batch's
@@ -350,6 +525,11 @@ class ServiceServer:
                         )
                     except OSError:
                         pass  # a full disk must not take the service down
+                if timings is not None and envelope.get("ok"):
+                    merged = dict(envelope.get("timings") or {})
+                    merged.update(timings)
+                    merged["queue"] = t_batch - enqueued_at
+                    envelope = dict(envelope, timings=merged)
                 future = self._inflight.pop(key, None)
                 if future is not None and not future.done():
                     future.set_result(envelope)
@@ -361,19 +541,27 @@ class ServiceServer:
     # ------------------------------------------------------------------ #
 
     async def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
-        self.metrics.received += 1
+        self.metrics.inc_received(binary=False)
         t0 = time.perf_counter()
         try:
             obj = json.loads(body)
         except ValueError:
-            self.metrics.errors += 1
+            self.metrics.inc_errors()
             return 400, error_envelope("bad_json", "request body is not valid JSON")
         try:
             request = parse_request(obj)
         except ProtocolError as exc:
-            self.metrics.errors += 1
+            self.metrics.inc_errors()
             return HTTP_STATUS[exc.code], error_envelope(exc.code, exc.message)
-        return await self._submit_request(request, t0)
+        # stage timings exist only for traced requests: untraced ones
+        # never allocate the dict, keeping the no-trace overhead at one
+        # attribute check
+        timings = (
+            {"decode": time.perf_counter() - t0}
+            if getattr(request, "trace", None)
+            else None
+        )
+        return await self._submit_request(request, t0, timings)
 
     async def _submit_wire(self, body: bytes) -> tuple[int, dict[str, Any]]:
         """The binary fast path: frame -> trusted tree -> typed request.
@@ -384,15 +572,19 @@ class ServiceServer:
         is byte-for-byte the JSON path's, so outcomes and cache entries
         are interchangeable between encodings.
         """
-        self.metrics.received += 1
-        self.metrics.wire_requests += 1
+        self.metrics.inc_received(binary=True)
         t0 = time.perf_counter()
         try:
             request = request_from_frame(body)
         except ProtocolError as exc:
-            self.metrics.errors += 1
+            self.metrics.inc_errors()
             return HTTP_STATUS[exc.code], error_envelope(exc.code, exc.message)
-        return await self._submit_request(request, t0)
+        timings = (
+            {"decode": time.perf_counter() - t0}
+            if getattr(request, "trace", None)
+            else None
+        )
+        return await self._submit_request(request, t0, timings)
 
     def _fast_submit(
         self, body: bytes, content_type: str | None, *, binary: bool, close: bool
@@ -414,6 +606,10 @@ class ServiceServer:
                 request = request_from_frame(body)
             except ProtocolError:
                 return None  # the full path renders the error (and counts it)
+            if getattr(request, "trace", None):
+                # traced requests take the full path, which produces the
+                # stage breakdown (and is what tracing opts into paying)
+                return None
             key = request.key()
             self._body_keys[bytes(body)] = key
             while len(self._body_keys) > self.config.memo_entries:
@@ -421,11 +617,12 @@ class ServiceServer:
         value = self._memo_get(key)
         if value is None:
             return None
-        self.metrics.received += 1
-        self.metrics.wire_requests += 1
-        self.metrics.completed += 1
-        self._sync_cache_metrics()
+        self.metrics.inc_received(binary=True)
+        self.metrics.inc_completed()
         self.metrics.record_latency(time.perf_counter() - t0)
+        if self._track_recent:
+            self._record_recent(key, value, cached=True, deduped=False,
+                                elapsed=time.perf_counter() - t0)
         return self._render(
             200,
             ok_envelope(value, key=key, cached=True),
@@ -437,7 +634,7 @@ class ServiceServer:
         value = self._memo.get(key)
         if value is not None:
             self._memo.move_to_end(key)
-            self._memo_hits += 1
+            self.metrics.inc_memo_hit()
         return value
 
     def _memo_put(self, key: str, value: dict[str, Any]) -> None:
@@ -449,22 +646,43 @@ class ServiceServer:
         while len(self._memo) > cap:
             self._memo.popitem(last=False)
 
-    def _sync_cache_metrics(self) -> None:
-        # memo hits are cache hits the disk never saw
-        self.metrics.cache_hits = self.cache.hits + self._memo_hits
-        self.metrics.cache_misses = self.cache.misses
+    def _record_recent(
+        self,
+        key: str,
+        value: dict[str, Any] | None,
+        *,
+        cached: bool,
+        deduped: bool,
+        elapsed: float,
+    ) -> None:
+        """Append one answered request to the dashboard's bounded ring."""
+        value = value or {}
+        self._recent.append({
+            "key": key,
+            "kind": value.get("kind"),
+            "algorithm": value.get("algorithm"),
+            "io_volume": value.get("io_volume"),
+            "cached": cached,
+            "deduped": deduped,
+            "elapsed_ms": elapsed * 1000.0,
+            "traced": "schedule_trace" in value,
+            "ts": time.time(),
+        })
 
     async def _submit_request(
-        self, request: Any, t0: float
+        self, request: Any, t0: float, timings: dict[str, float] | None = None
     ) -> tuple[int, dict[str, Any]]:
         key = request.key()
         timeout = request.timeout or self.config.request_timeout
         loop = asyncio.get_running_loop()
+        self.metrics.record_strategy(
+            getattr(request, "algorithm", None) or request.kind
+        )
 
         # 1) coalesce onto an identical in-flight computation
         existing = self._inflight.get(key)
         if existing is not None:
-            self.metrics.deduped_inflight += 1
+            self.metrics.inc_deduped()
             return await self._await_result(
                 existing, key, timeout, t0, deduped=True
             )
@@ -486,23 +704,35 @@ class ServiceServer:
         #    executor hop, no disk), the rest from disk on the default
         #    executor, never on the loop
         if self.cache is not None:
+            t_cache = time.perf_counter()
             value = self._memo_get(key)
             if value is None:
                 value = await loop.run_in_executor(None, self.cache.get, key)
                 if value is not None:
                     self._memo_put(key, value)
-            self._sync_cache_metrics()
+            if timings is not None:
+                timings["cache"] = time.perf_counter() - t_cache
             if value is not None:
-                self.metrics.completed += 1
-                self.metrics.record_latency(time.perf_counter() - t0)
-                return _resolve(200, ok_envelope(value, key=key, cached=True))
+                self.metrics.inc_completed()
+                elapsed = time.perf_counter() - t0
+                self.metrics.record_latency(elapsed)
+                if self._track_recent:
+                    self._record_recent(
+                        key, value, cached=True, deduped=False, elapsed=elapsed
+                    )
+                return _resolve(
+                    200,
+                    ok_envelope(value, key=key, cached=True, timings=timings),
+                )
 
         # 3) admit into the bounded queue (or reject: backpressure)
         assert self._queue is not None
         try:
-            self._queue.put_nowait((key, request.to_payload()))
+            self._queue.put_nowait(
+                (key, request.to_payload(), time.perf_counter(), timings)
+            )
         except asyncio.QueueFull:
-            self.metrics.rejected += 1
+            self.metrics.inc_rejected()
             # resolves the future too: coalesced waiters share the 429
             return _resolve(
                 429,
@@ -528,23 +758,30 @@ class ServiceServer:
             # computation — it still completes and populates the cache.
             envelope = await asyncio.wait_for(asyncio.shield(future), timeout)
         except asyncio.TimeoutError:
-            self.metrics.timeouts += 1
+            self.metrics.inc_timeouts()
             return 504, error_envelope(
                 "timeout", f"request did not complete within {timeout:.3f}s"
             )
         if envelope.get("ok"):
-            self.metrics.completed += 1
-            self.metrics.record_latency(time.perf_counter() - t0)
+            self.metrics.inc_completed()
+            elapsed = time.perf_counter() - t0
+            self.metrics.record_latency(elapsed)
             if deduped:
                 envelope = dict(envelope, deduped=True)
+            if self._track_recent:
+                self._record_recent(
+                    key,
+                    envelope.get("result"),
+                    cached=bool(envelope.get("cached")),
+                    deduped=deduped,
+                    elapsed=elapsed,
+                )
             return 200, envelope
-        self.metrics.errors += 1
+        self.metrics.inc_errors()
         code = envelope.get("error", {}).get("code", "internal")
         return HTTP_STATUS.get(code, 500), envelope
 
     def _metrics_body(self) -> dict[str, Any]:
-        if self.cache is not None:
-            self._sync_cache_metrics()
         queue_depth = self._queue.qsize() if self._queue is not None else 0
         return self.metrics.snapshot(
             queue_depth=queue_depth, inflight=len(self._inflight)
@@ -564,6 +801,14 @@ class ServiceServer:
         else:
             payload = json.dumps(body).encode("utf-8")
             content_type = JSON_CONTENT_TYPE
+        return self._render_raw(status, content_type, payload, close=close)
+
+    def _render_raw(
+        self, status: int, content_type: str, payload: bytes, *, close: bool
+    ) -> tuple[bytes, bool]:
+        """Render a response whose payload bytes are already encoded
+        (Prometheus text, dashboard HTML, trace SVG)."""
+        self.metrics.add_tx(len(payload))
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
@@ -647,6 +892,7 @@ class ServiceServer:
                 if parsed is None:
                     break  # clean EOF between requests
                 method, path, headers, body, oversized = parsed
+                self.metrics.add_rx(len(body))
                 close = (
                     keepalive <= 0
                     or headers.get("connection", "").strip().lower() == "close"
@@ -686,8 +932,11 @@ class ServiceServer:
                     if close:
                         break
                     continue
-                status, envelope = self._route_simple(method, path)
-                _enqueue_now(self._render(status, envelope, binary=False, close=close))
+                raw = self._route_raw(method, path, headers, close=close)
+                if raw is None:
+                    status, envelope = self._route_simple(method, path)
+                    raw = self._render(status, envelope, binary=False, close=close)
+                _enqueue_now(raw)
                 if close:
                     break
             responses.put_nowait(None)
@@ -705,11 +954,95 @@ class ServiceServer:
                 writer.close()
                 await writer.wait_closed()
 
+    def _route_raw(
+        self, method: str, path: str, headers: dict[str, str], *, close: bool
+    ) -> tuple[bytes, bool] | None:
+        """Routes whose responses are not JSON envelopes: the Prometheus
+        exposition of ``/metrics`` (negotiated via ``Accept``) and the
+        dashboard's page and per-request schedule-trace SVGs.  Returns
+        ``None`` to fall through to :meth:`_route_simple`.
+        """
+        if method != "GET":
+            return None
+        if path == "/metrics":
+            accept = headers.get("accept", "")
+            if "text/plain" in accept or "openmetrics" in accept:
+                text = self.registry.render_prometheus()
+                return self._render_raw(
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode("utf-8"),
+                    close=close,
+                )
+            return None
+        if not self.config.dashboard:
+            return None
+        from .dashboard import DASHBOARD_HTML, render_trace_svg
+
+        if path in ("/dash", "/dash/"):
+            return self._render_raw(
+                200,
+                "text/html; charset=utf-8",
+                DASHBOARD_HTML.encode("utf-8"),
+                close=close,
+            )
+        if path.startswith("/dash/trace/"):
+            key = path[len("/dash/trace/"):]
+            result = self._peek_result(key)
+            if result is None or "schedule_trace" not in result:
+                return self._render(
+                    404,
+                    error_envelope(
+                        "not_found",
+                        "no cached result with a schedule trace under that "
+                        "key (submit it with trace_schedule=true first)",
+                    ),
+                    binary=False,
+                    close=close,
+                )
+            svg = render_trace_svg(result, key)
+            return self._render_raw(
+                200, "image/svg+xml", svg.encode("utf-8"), close=close
+            )
+        return None
+
+    def _peek_result(self, key: str) -> dict[str, Any] | None:
+        """A cached result by key, *without* touching hit/miss counters —
+        dashboard drill-downs must not pollute the cache metrics."""
+        if len(key) != 64 or not all(c in "0123456789abcdef" for c in key):
+            return None
+        value = self._memo.get(key)
+        if value is not None:
+            return value
+        if self.cache is None:
+            return None
+        try:
+            return json.loads(
+                self.cache._path(key).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+
     def _route_simple(self, method: str, path: str) -> tuple[int, dict[str, Any]]:
         if path == "/healthz" and method == "GET":
-            return 200, {"ok": True, "protocol": PROTOCOL_VERSION}
+            from .. import __version__ as repro_version
+
+            return 200, {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "versions": {
+                    "repro": repro_version,
+                    "protocol": PROTOCOL_VERSION,
+                    "wire": WIRE_VERSION,
+                    "engine": ENGINE_VERSION,
+                },
+            }
         if path == "/metrics" and method == "GET":
             return 200, self._metrics_body()
+        if path == "/dash/data" and method == "GET" and self.config.dashboard:
+            from .dashboard import dashboard_data
+
+            return 200, dashboard_data(self)
         if path == "/v1/submit":
             return 405, error_envelope(
                 "method_not_allowed", f"{method} not allowed on {path}"
@@ -733,7 +1066,7 @@ class ServiceServer:
             elif received in ("", JSON_CONTENT_TYPE, "text/json"):
                 status, envelope = await self._submit(body)
             else:
-                self.metrics.errors += 1
+                self.metrics.inc_errors()
                 status, envelope = 415, error_envelope(
                     "unsupported_media_type",
                     f"cannot decode a {received!r} body; send "
@@ -747,6 +1080,18 @@ class ServiceServer:
             )
         finally:
             pipeline.release()
+        if status == 200 and "timings" in envelope:
+            # traced requests opt into measuring their own encode: time a
+            # throwaway encode, then render the patched envelope (copied —
+            # coalesced waiters share the resolved envelope's timings)
+            t_encode = time.perf_counter()
+            if binary:
+                encode_response_frame(envelope)
+            else:
+                json.dumps(envelope)
+            timings = dict(envelope["timings"])
+            timings["encode"] = time.perf_counter() - t_encode
+            envelope = dict(envelope, timings=timings)
         return self._render(status, envelope, binary=binary, close=close)
 
     async def _read_request(

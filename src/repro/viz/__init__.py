@@ -8,11 +8,19 @@ Matplotlib-free renderers producing standalone SVG files:
   execution step under one or more schedules;
 * :func:`~repro.viz.charts.io_sweep_chart` — I/O volume across a tree's
   whole memory regime;
+* :func:`~repro.viz.charts.schedule_trace_chart` — one request's
+  schedule trace (memory hill-valley curve + cumulative I/O), the view
+  the service dashboard drills down into;
 * :func:`~repro.viz.treeviz.tree_chart` — annotated node-link tree
   diagrams (the Figure 2/6/7 style).
 """
 
-from .charts import io_sweep_chart, memory_timeline_chart, profile_chart
+from .charts import (
+    io_sweep_chart,
+    memory_timeline_chart,
+    profile_chart,
+    schedule_trace_chart,
+)
 from .gantt import gantt_chart
 from .svg import PALETTE, LineChart, Series
 from .treeviz import tree_ascii, tree_chart
@@ -25,6 +33,7 @@ __all__ = [
     "io_sweep_chart",
     "memory_timeline_chart",
     "profile_chart",
+    "schedule_trace_chart",
     "tree_ascii",
     "tree_chart",
 ]

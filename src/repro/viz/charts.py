@@ -19,7 +19,12 @@ from ..core.simulator import simulate_fif
 from ..core.tree import TaskTree
 from .svg import LineChart
 
-__all__ = ["profile_chart", "memory_timeline_chart", "io_sweep_chart"]
+__all__ = [
+    "profile_chart",
+    "memory_timeline_chart",
+    "io_sweep_chart",
+    "schedule_trace_chart",
+]
 
 
 def profile_chart(
@@ -86,6 +91,39 @@ def memory_timeline_chart(
         last = max(len(s) for s in schedules.values())
         chart.add(f"M = {memory}", [0, last - 1], [memory, memory], dash="6,4",
                   color="#888888")
+    return chart.render()
+
+
+def schedule_trace_chart(
+    trace: Mapping[str, Sequence[int]],
+    memory: int | None = None,
+    *,
+    title: str = "",
+    width: int = 640,
+    height: int = 420,
+) -> str:
+    """Render one per-request schedule trace (see
+    :func:`repro.obs.schedule_trace`): the resident-memory hill-valley
+    curve and the cumulative I/O staircase over the schedule's events,
+    with the peak and the bound ``M`` marked.
+    """
+    mem = list(trace["memory"])
+    cum = list(trace["cumulative_io"])
+    xs = list(range(len(mem)))
+    chart = LineChart(
+        title=title,
+        x_label="Schedule event",
+        y_label="Memory / cumulative I/O (units)",
+        width=width,
+        height=height,
+    )
+    peak = trace.get("peak_memory", max(mem) if mem else 0)
+    chart.add(f"resident memory (peak={peak})", xs, mem)
+    chart.add(f"cumulative I/O (total={trace.get('io_volume', 0)})",
+              xs, cum, step=True)
+    if memory is not None and xs:
+        chart.add(f"M = {memory}", [xs[0], xs[-1]], [memory, memory],
+                  dash="6,4", color="#888888")
     return chart.render()
 
 

@@ -70,14 +70,15 @@ API_ALL = [
 REQUEST_FIELDS = {
     api.SolveRequest: [
         "parents", "weights", "memory", "algorithm", "timeout", "engine",
+        "trace_schedule", "trace",
     ],
     api.PagingRequest: [
         "parents", "weights", "memory", "algorithm", "page_size",
-        "policies", "seed", "timeout", "engine",
+        "policies", "seed", "timeout", "engine", "trace",
     ],
     api.ExactRequest: [
         "parents", "weights", "memory", "max_states", "node_limit",
-        "timeout", "engine",
+        "timeout", "engine", "trace",
     ],
     api.BatchRequest: [
         "trees", "algorithms", "bound", "memory", "engine", "forest",
@@ -86,7 +87,7 @@ REQUEST_FIELDS = {
 
 OUTCOME_FIELDS = [
     "ok", "key", "result", "error_code", "error_message", "error_status",
-    "cached", "deduped", "backend", "elapsed_seconds",
+    "cached", "deduped", "backend", "elapsed_seconds", "timings",
 ]
 
 ERROR_CODES = [
