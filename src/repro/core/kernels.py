@@ -43,6 +43,8 @@ from .arraytree import ArrayTree
 __all__ = [
     "best_postorder",
     "best_postorder_core",
+    "fif_overflow_message",
+    "fif_stuck_message",
     "flatten_rope",
     "liu_segments",
     "liu_segments_core",
@@ -424,6 +426,23 @@ def liu_peak_core(
 # ----------------------------------------------------------------------
 # Furthest-in-the-Future simulator (Theorem 1)
 # ----------------------------------------------------------------------
+def fif_overflow_message(v: int, wbar_v: int, memory: int) -> str:
+    """``InfeasibleSchedule`` text when one node alone exceeds the bound.
+
+    Shared by the per-tree core and the vectorised forest sweep so the
+    two engines raise byte-identical diagnostics.
+    """
+    return f"node {v} alone needs wbar={wbar_v} > M={memory}"
+
+
+def fif_stuck_message(step: int, v: int, excess: int, memory: int) -> str:
+    """``InfeasibleSchedule`` text when eviction runs out of candidates."""
+    return (
+        f"step {step} (node {v}): nothing left to evict "
+        f"but still {excess} over M={memory}"
+    )
+
+
 def simulate_fif(
     at: ArrayTree, schedule: Sequence[int], memory: int | None
 ) -> tuple[dict[int, int], int, int]:
@@ -516,7 +535,7 @@ def simulate_fif_core(
         if memory is not None and need > memory:
             if wbar_v > memory:
                 raise InfeasibleSchedule(
-                    f"node {v} alone needs wbar={wbar_v} > M={memory}"
+                    fif_overflow_message(v, wbar_v, memory)
                 )
             if pending:
                 if len(pending) * 8 < len(heap):
@@ -538,8 +557,7 @@ def simulate_fif_core(
                     heappop(heap)
                 if not heap:
                     raise InfeasibleSchedule(
-                        f"step {pos[v]} (node {v}): nothing left to evict "
-                        f"but still {excess} over M={memory}"
+                        fif_stuck_message(pos[v], v, excess, memory)
                     )
                 k = heap[0][1]
                 r_k = resident[k]

@@ -30,9 +30,12 @@ is incremented from a single thread (the service's event loop).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Any, Callable, Mapping
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "Counter",
@@ -101,15 +104,24 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value: either set directly or read via callback."""
+    """A point-in-time value: either set directly or read via callback.
 
-    __slots__ = ("name", "help", "_value", "_fn")
+    A crashing callback must stay distinguishable from a legitimately
+    idle reading, so scrape failures are counted on the gauge (the
+    registry aggregates them as ``gauge_scrape_errors_total``) and
+    logged with the traceback once per gauge; the scrape itself falls
+    back to the last directly-``set`` value (0 if never set).
+    """
+
+    __slots__ = ("name", "help", "_value", "_fn", "scrape_errors", "_error_logged")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._value: int | float = 0
         self._fn: Callable[[], int | float] | None = None
+        self.scrape_errors = 0
+        self._error_logged = False
 
     def set(self, value: int | float) -> None:
         self._value = value
@@ -124,7 +136,14 @@ class Gauge:
             try:
                 return self._fn()
             except Exception:
-                return 0
+                self.scrape_errors += 1
+                if not self._error_logged:
+                    self._error_logged = True
+                    logger.exception(
+                        "gauge %s: scrape callback failed; "
+                        "reporting last set value", self.name,
+                    )
+                return self._value
         return self._value
 
 
@@ -204,7 +223,14 @@ class MetricsRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        #: wall-clock birth time, for display/provenance only
         self.started_at = time.time()
+        #: monotonic anchor — uptime must not jump on an NTP step
+        self.started_monotonic = time.monotonic()
+
+    def uptime(self) -> float:
+        """Seconds since registry creation, on the monotonic clock."""
+        return time.monotonic() - self.started_monotonic
 
     def _get(self, cls, name: str, help: str, **kwargs):
         with self._lock:
@@ -246,6 +272,11 @@ class MetricsRegistry:
                 summary["total_count"] = metric.total_count
                 summary["total_sum"] = metric.total_sum
                 out[name] = summary
+        scrape_errors = sum(
+            m.scrape_errors for m in metrics.values() if isinstance(m, Gauge)
+        )
+        if scrape_errors:
+            out["gauge_scrape_errors_total"] = scrape_errors
         return out
 
     def render_prometheus(self) -> str:
@@ -273,6 +304,21 @@ class MetricsRegistry:
                     )
                 lines.append(f"{name}_count {metric.total_count}")
                 lines.append(f"{name}_sum {metric.total_sum}")
+        failing = [
+            m for m in sorted(metrics.values(), key=lambda m: m.name)
+            if isinstance(m, Gauge) and m.scrape_errors
+        ]
+        if failing:
+            lines.append(
+                "# HELP gauge_scrape_errors_total "
+                "gauge callbacks that raised at scrape time"
+            )
+            lines.append("# TYPE gauge_scrape_errors_total counter")
+            for m in failing:
+                lines.append(
+                    f'gauge_scrape_errors_total{{gauge="{m.name}"}} '
+                    f"{m.scrape_errors}"
+                )
         return "\n".join(lines) + "\n"
 
 

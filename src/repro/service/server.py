@@ -166,7 +166,7 @@ class ServiceMetrics:
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.enabled = enabled
-        self.started_at = self.registry.started_at
+        self.started_at = self.registry.started_at  # wall clock, display only
         r = self.registry
         self._requests = r.counter(
             "requests_total", "requests received, by submit encoding"
@@ -316,7 +316,10 @@ class ServiceMetrics:
     def snapshot(self, *, queue_depth: int, inflight: int) -> dict[str, Any]:
         return {
             "protocol": PROTOCOL_VERSION,
-            "uptime_seconds": time.time() - self.started_at,
+            # monotonic: wall clock would jump (or go negative) on an
+            # NTP step; the recent-ring ``ts`` stays wall-clock on
+            # purpose (it is correlated with external logs)
+            "uptime_seconds": self.registry.uptime(),
             "queue_depth": queue_depth,
             "inflight": inflight,
             "requests": {

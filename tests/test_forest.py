@@ -209,26 +209,33 @@ class TestKernelEquivalence:
         assert np.array_equal(no_sched[1], storage)
         assert np.array_equal(no_sched[2], vio)
 
-    def test_lower_bounds_and_peaks(self, ats, forest):
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_lower_bounds_and_peaks(self, ats, forest, vectorize):
         lbs = fk.forest_lower_bounds(forest)
-        peaks = fk.forest_min_peaks(forest)
+        peaks = fk.forest_min_peaks(forest, vectorize=vectorize)
         bounds = fk.forest_memory_bounds(forest)
         for k, at in enumerate(ats):
             assert lbs[k] == at.min_feasible_memory()
             assert peaks[k] == kernels.liu_peak(at)
             assert bounds[k] == (lbs[k], peaks[k])
 
-    def test_opt_min_mem(self, ats, forest):
-        for k, (schedule, peak) in enumerate(fk.forest_opt_min_mem(forest)):
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_opt_min_mem(self, ats, forest, vectorize):
+        out = fk.forest_opt_min_mem(forest, vectorize=vectorize)
+        for k, (schedule, peak) in enumerate(out):
             assert (schedule, peak) == kernels.liu_schedule(ats[k])
 
-    def test_simulate_fif(self, ats, forest, mems):
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_simulate_fif(self, ats, forest, mems, vectorize):
         schedules = [s for s, _st, _v in fk.forest_best_postorders(forest, mems)]
-        sims = fk.forest_simulate_fif(forest, schedules, mems)
+        sims = fk.forest_simulate_fif(
+            forest, schedules, mems, vectorize=vectorize
+        )
         for k, at in enumerate(ats):
             assert sims[k] == kernels.simulate_fif(at, schedules[k], mems[k])
 
-    def test_simulate_fif_infeasible_matches(self, ats, forest):
+    @pytest.mark.parametrize("vectorize", [False, True])
+    def test_simulate_fif_infeasible_matches(self, ats, forest, vectorize):
         k = next(
             k for k, at in enumerate(ats) if at.min_feasible_memory() > 1
         )
@@ -237,8 +244,32 @@ class TestKernelEquivalence:
         ]
         mems = [None] * forest.n_trees
         mems[k] = ats[k].min_feasible_memory() - 1
-        with pytest.raises(InfeasibleSchedule):
+        with pytest.raises(InfeasibleSchedule) as exc:
+            fk.forest_simulate_fif(forest, schedules, mems, vectorize=vectorize)
+        # same message as the per-tree kernel, both engines
+        with pytest.raises(InfeasibleSchedule) as ref:
+            kernels.simulate_fif(ats[k], schedules[k], mems[k])
+        assert str(exc.value) == str(ref.value)
+
+    def test_partial_schedule_error_names_the_tree(self, forest, mems):
+        schedules = [
+            s for s, _st, _v in fk.forest_best_postorders(forest, mems)
+        ]
+        schedules[5] = schedules[5][:-1]
+        n = forest.sizes().tolist()[5]
+        with pytest.raises(
+            ValueError,
+            match=rf"tree 5: .*expected {n} nodes, got {n - 1}",
+        ):
             fk.forest_simulate_fif(forest, schedules, mems)
+
+    def test_bool_memory_bounds_rejected(self, forest, mems):
+        with pytest.raises(TypeError, match="bool"):
+            fk.forest_best_postorders(forest, True)
+        per_tree = list(mems)
+        per_tree[2] = True
+        with pytest.raises(TypeError, match="tree 2: .*bool"):
+            fk.forest_best_postorders(forest, per_tree)
 
     @pytest.mark.parametrize("algorithm", fk.FOREST_STRATEGIES)
     def test_traversals_match_registry(self, trees, forest, mems, algorithm):
@@ -281,3 +312,111 @@ class TestDeepForest:
         mm = fk.forest_best_postorders(f, None)
         assert mm[0] == kernels.best_postorder(at, None)
         _assert_same_buffers(f.tree(0), at)
+
+
+def _chain(n, weights):
+    return (list(range(-1, n - 1)), list(weights))
+
+
+def _star(n, weights):
+    return ([-1] + [0] * (n - 1), list(weights))
+
+
+def _binary(n, weights):
+    return ([-1] + [(i - 1) // 2 for i in range(1, n)], list(weights))
+
+
+def _adversarial_forests():
+    """Merge-tie and degenerate shapes aimed at the vectorised cores."""
+    rng = np.random.default_rng(BASE_SEED)
+
+    def w(n, lo, hi):
+        return rng.integers(lo, hi, size=n).tolist()
+
+    return {
+        # maximal hill–valley merge ties: every candidate segment equal
+        "all-equal": [
+            _binary(31, [7] * 31),
+            _star(40, [3] * 40),
+            _chain(25, [5] * 25),
+            _binary(64, [1] * 64),
+            ([-1], [2]),
+        ],
+        # deep single-child chains (arity-1 levels, identity merges)
+        "chains": [
+            _chain(800, w(800, 1, 50)),
+            _chain(799, [9] * 799),
+            _chain(2, [1, 10 ** 9]),
+            _chain(500, w(500, 1, 4)),
+        ],
+        # zero-weight nodes: zero-size residents are never evictable
+        "zero-weights": [
+            _binary(50, [0] * 50),
+            _star(30, [0, 5] * 15),
+            _chain(40, [i % 2 for i in range(40)]),
+            _binary(33, w(33, 0, 3)),
+        ],
+        # single-node members interleaved with real trees
+        "singletons": [
+            ([-1], [1]),
+            _binary(100, w(100, 1, 100)),
+            ([-1], [10 ** 12]),
+            ([-1], [0]),
+            _star(10, w(10, 1, 9)),
+        ],
+    }
+
+
+class TestAdversarialFamilies:
+    """Both engines stay byte-identical on the shapes built to split them."""
+
+    @pytest.mark.parametrize("family", sorted(_adversarial_forests()))
+    def test_liu_and_fif_equivalence(self, family):
+        pairs = _adversarial_forests()[family]
+        forest = ArrayForest.from_pairs(pairs)
+        peaks_l = fk.forest_min_peaks(forest, vectorize=False)
+        peaks_v = fk.forest_min_peaks(forest, vectorize=True)
+        assert peaks_l == peaks_v
+        assert fk.forest_opt_min_mem(
+            forest, vectorize=False
+        ) == fk.forest_opt_min_mem(forest, vectorize=True)
+        lbs = fk.forest_lower_bounds(forest)
+        schedules = [
+            s for s, _st, _v in fk.forest_best_postorders(forest, None)
+        ]
+        for mems in (
+            None,
+            [max(1, lb) for lb in lbs],  # tightest feasible: max eviction
+            [
+                max(max(1, lb), (lb + pk - 1) // 2)
+                for lb, pk in zip(lbs, peaks_l)
+            ],
+        ):
+            assert fk.forest_simulate_fif(
+                forest, schedules, mems, vectorize=False
+            ) == fk.forest_simulate_fif(
+                forest, schedules, mems, vectorize=True
+            )
+
+    def test_mixed_infeasible_parity_tree_by_tree(self):
+        """Each infeasible member raises identically on both engines."""
+        pairs = _adversarial_forests()["singletons"]
+        forest = ArrayForest.from_pairs(pairs)
+        lbs = fk.forest_lower_bounds(forest)
+        schedules = [
+            s for s, _st, _v in fk.forest_best_postorders(forest, None)
+        ]
+        for k, lb in enumerate(lbs):
+            if lb <= 1:
+                continue
+            mems = [None] * forest.n_trees
+            mems[k] = lb - 1
+            with pytest.raises(InfeasibleSchedule) as loop_exc:
+                fk.forest_simulate_fif(
+                    forest, schedules, mems, vectorize=False
+                )
+            with pytest.raises(InfeasibleSchedule) as vec_exc:
+                fk.forest_simulate_fif(
+                    forest, schedules, mems, vectorize=True
+                )
+            assert str(loop_exc.value) == str(vec_exc.value)

@@ -69,6 +69,48 @@ class TestCounter:
         depth[0] = 7
         assert registry.snapshot()["depth"] == 7
 
+    def test_crashed_gauge_callback_is_counted_and_logged_once(self, caplog):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", "")
+        gauge.set(3)
+
+        def boom():
+            raise RuntimeError("backend gone")
+
+        gauge.set_function(boom)
+        with caplog.at_level("ERROR", logger="repro.obs.metrics"):
+            snap = registry.snapshot()
+            registry.snapshot()
+        # falls back to the last set value, never a silent 0
+        assert snap["depth"] == 3
+        assert snap["gauge_scrape_errors_total"] == 1
+        assert registry.snapshot()["gauge_scrape_errors_total"] == 3
+        # logged once per gauge, not once per scrape
+        logged = [r for r in caplog.records if "depth" in r.message]
+        assert len(logged) == 1
+        text = registry.render_prometheus()
+        assert 'gauge_scrape_errors_total{gauge="depth"}' in text
+
+    def test_healthy_scrapes_report_no_error_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", "").set_function(lambda: 4)
+        snap = registry.snapshot()
+        assert snap["depth"] == 4
+        assert "gauge_scrape_errors_total" not in snap
+        assert "gauge_scrape_errors_total" not in registry.render_prometheus()
+
+    def test_uptime_is_monotonic_anchored(self, monkeypatch):
+        import time as time_mod
+
+        registry = MetricsRegistry()
+        up = registry.uptime()
+        assert up >= 0.0
+        # a wall-clock step must not affect uptime
+        monkeypatch.setattr(
+            time_mod, "time", lambda: registry.started_at - 3600.0
+        )
+        assert registry.uptime() >= up
+
 
 class TestHistogramEdgeCases:
     def test_empty_window(self):
