@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — run the AST invariant checker."""
+
+import sys
+
+from .lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

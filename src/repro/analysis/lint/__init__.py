@@ -1,0 +1,44 @@
+"""AST invariant checker: the repo's hand-audited rules as a gated lint pass.
+
+Every invariant in this package was discovered the hard way — a manual
+recursion audit of the kernel cores (PR 3), a wall-clock uptime bug and
+silently-swallowed gauge callbacks (PR 8), the cache-key field
+discipline the API unification rests on (PR 5/7) — and until now lived
+only in reviewers' heads.  This package turns them into machine-checked
+rules:
+
+* one ``ast.parse`` per file, every checker running in a single walk;
+* ``# repro: allow(<rule>) -- <justification>`` suppression pragmas,
+  justification text required;
+* a committed baseline file for grandfathered findings (new findings
+  fail, old ones don't);
+* human and JSON output, non-zero exit on new findings.
+
+Entry points: ``repro-ioschedule lint`` and ``python -m repro.analysis``.
+"""
+
+from .engine import (
+    Finding,
+    LintError,
+    LintReport,
+    Rule,
+    fingerprint,
+    load_baseline,
+    run_lint,
+)
+from .rules import RULE_IDS, default_rules
+from .cli import EXIT_FINDINGS, main
+
+__all__ = [
+    "EXIT_FINDINGS",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "RULE_IDS",
+    "Rule",
+    "default_rules",
+    "fingerprint",
+    "load_baseline",
+    "main",
+    "run_lint",
+]

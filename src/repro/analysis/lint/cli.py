@@ -1,0 +1,131 @@
+"""Command-line front end: ``repro-ioschedule lint`` / ``python -m repro.analysis``.
+
+Exit codes follow the CLI contract of :mod:`repro.api.errors`:
+``0`` clean (no new findings), ``1`` new findings, ``2`` bad usage
+(missing path, unknown rule, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ...api.errors import EXIT_BAD_INPUT, EXIT_OK, EXIT_TRANSPORT
+from .engine import LintError, baseline_document, load_baseline, run_lint
+from .rules import ALL_RULES, RULE_IDS, default_rules
+
+__all__ = ["EXIT_FINDINGS", "add_lint_arguments", "main", "run_from_args"]
+
+#: new findings exit with the "something went wrong that is not your
+#: arguments" class of the existing contract (same value as
+#: :data:`~repro.api.errors.EXIT_TRANSPORT`).
+EXIT_FINDINGS = EXIT_TRANSPORT
+
+#: the default baseline location; silently empty when the file does not
+#: exist (an *explicitly* named baseline must exist — exit 2 otherwise).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by both entry points)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report rendering (default: human)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline of grandfathered findings (default: {DEFAULT_BASELINE} "
+             "if present)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write every current finding to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the report to FILE (exit code is unaffected)",
+    )
+    parser.add_argument(
+        "--rule", action="append", metavar="ID", dest="rules",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _list_rules() -> int:
+    width = max(len(rule.id) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        scope = ", ".join(rule.scopes) if rule.scopes else "everywhere"
+        print(f"{rule.id:<{width}}  [{scope}]  {rule.motivation}")
+    return EXIT_OK
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+    try:
+        rules = default_rules(args.rules)
+        baseline_path = args.baseline
+        baseline = frozenset()
+        if args.write_baseline:
+            baseline_path = baseline_path or DEFAULT_BASELINE
+        elif baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+        else:
+            try:
+                baseline = load_baseline(DEFAULT_BASELINE)
+            except FileNotFoundError:
+                baseline = frozenset()
+        report = run_lint(args.paths, rules=rules, baseline=baseline)
+    except (LintError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+    if args.write_baseline:
+        document = baseline_document(report.all_fingerprints)
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(document['fingerprints'])} fingerprints)"
+        )
+        return EXIT_OK
+
+    if args.format == "json":
+        rendered = json.dumps(report.to_json_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = report.format_human()
+    print(rendered)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered)
+            fh.write("\n")
+    return EXIT_OK if report.clean else EXIT_FINDINGS
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST invariant checker: the repo's hand-audited rules "
+            f"({', '.join(RULE_IDS)}) as a gated lint pass"
+        ),
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,594 @@
+"""The checker framework: one parse, one walk, many rules.
+
+A :class:`Rule` subscribes to AST node types and receives enter-order
+callbacks from a single iterative walk per module (the walker keeps an
+explicit stack — the no-recursion rule applies to this package too).
+Rules see a :class:`ModuleContext` carrying the parsed tree, a
+child→parent map, the enclosing class/function scope, the suppression
+pragmas, and the ``add`` sink for findings.
+
+Suppression and grandfathering are framework concerns, not rule
+concerns:
+
+* a ``# repro: allow(<rule-id>) -- <justification>`` comment suppresses
+  matching findings on its own line (and, when the comment stands
+  alone, on the line below).  The justification text is **required** —
+  a pragma without one does not suppress and is itself reported under
+  the ``lint-pragma`` rule;
+* a baseline file maps finding *fingerprints* (rule, module, enclosing
+  symbol, normalised source line, occurrence index — deliberately not
+  the line number, so unrelated edits above a grandfathered finding do
+  not churn the file) to grandfathered findings.  Only findings outside
+  the baseline count as new.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "LintReport",
+    "ModuleContext",
+    "Pragma",
+    "Rule",
+    "fingerprint",
+    "iter_python_files",
+    "load_baseline",
+    "module_name_for",
+    "run_lint",
+]
+
+#: framework-level rule ids (reported like rule findings, never scoped).
+PRAGMA_RULE = "lint-pragma"
+PARSE_RULE = "parse-error"
+
+#: directory names the file walker never descends into.  ``lint_fixtures``
+#: holds deliberately-broken test inputs — lintable only when passed as
+#: explicit file arguments.
+EXCLUDED_DIRS = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        "node_modules",
+        ".mypy_cache",
+        ".pytest_cache",
+        "lint_fixtures",
+    }
+)
+
+BASELINE_VERSION = 1
+REPORT_VERSION = 1
+
+
+class LintError(Exception):
+    """Bad usage of the lint machinery itself (unknown rule, bad path…)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    module: str = ""
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format_human(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        return f"{where}: {self.rule}: {self.message}"
+
+    def to_dict(self, *, fingerprint: str = "") -> dict[str, Any]:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "module": self.module,
+        }
+        if fingerprint:
+            out["fingerprint"] = fingerprint
+        return out
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# repro: allow(...)`` suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    covers: tuple[int, ...]
+
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\(\s*([A-Za-z0-9_,\s-]*?)\s*\)\s*(?:--\s*(\S.*))?\s*$"
+)
+#: any comment that *mentions* the pragma namespace — used to flag
+#: malformed spellings that would otherwise silently not suppress.
+_PRAGMA_HINT_RE = re.compile(r"#\s*repro:")
+
+
+def extract_pragmas(source: str) -> tuple[list[Pragma], list[tuple[int, str]]]:
+    """All suppression pragmas in ``source`` plus malformed-pragma sites.
+
+    Comments are found with :mod:`tokenize`, never with line regexes, so
+    pragma-shaped text inside string literals is ignored.
+    """
+    pragmas: list[Pragma] = []
+    malformed: list[tuple[int, str]] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas, malformed  # the parse-error finding covers it
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if not _PRAGMA_HINT_RE.match(tok.string):
+            continue
+        match = _PRAGMA_RE.match(tok.string)
+        if match is None:
+            malformed.append(
+                (tok.start[0], f"malformed repro pragma {tok.string.strip()!r}")
+            )
+            continue
+        rule_ids = tuple(r.strip() for r in match.group(1).split(",") if r.strip())
+        justification = (match.group(2) or "").strip()
+        own_line = tok.line[: tok.start[1]].strip() == ""
+        covers = (tok.start[0], tok.start[0] + 1) if own_line else (tok.start[0],)
+        pragmas.append(Pragma(tok.start[0], rule_ids, justification, covers))
+    return pragmas, malformed
+
+
+class ModuleContext:
+    """Everything a rule may ask about the module being walked."""
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        module: str,
+        source: str,
+        tree: ast.Module,
+        pragmas: Sequence[Pragma],
+        known_rules: frozenset[str],
+    ):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.known_rules = known_rules
+        self.findings: list[Finding] = []
+        self.suppressed: list[Finding] = []
+        #: innermost-last stacks maintained by the walker.
+        self.function_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self.class_stack: list[str] = []
+        self.scope_parts: list[str] = []
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+        self._allow: dict[int, list[Pragma]] = {}
+        for pragma in pragmas:
+            for line in pragma.covers:
+                self._allow.setdefault(line, []).append(pragma)
+        self.pragmas = list(pragmas)
+
+    # -- scope helpers -------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def qualname(self) -> str:
+        return ".".join(self.scope_parts)
+
+    def in_async_function(self) -> bool:
+        """True when the *nearest* enclosing function is ``async def``."""
+        return bool(self.function_stack) and isinstance(
+            self.function_stack[-1], ast.AsyncFunctionDef
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    # -- the finding sink ----------------------------------------------
+    def add(
+        self,
+        rule: str,
+        node: ast.AST | int,
+        message: str,
+        *,
+        symbol: str | None = None,
+    ) -> None:
+        """Report a finding, honouring any covering suppression pragma."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        finding = Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=self.qualname() if symbol is None else symbol,
+            module=self.module,
+        )
+        for pragma in self._allow.get(line, ()):
+            if rule in pragma.rules and pragma.justification:
+                self.suppressed.append(finding)
+                return
+        self.findings.append(finding)
+
+
+class Rule:
+    """Base class: subscribe to node types, emit findings through ``ctx``.
+
+    Class attributes
+    ----------------
+    id:
+        stable kebab-case rule id (pragmas and baselines refer to it).
+    motivation:
+        one line tying the rule to the bug class it guards against.
+    scopes:
+        module-name prefixes the rule applies to; empty = everywhere.
+    node_types:
+        AST node classes ``check`` wants to see.
+    """
+
+    id = ""
+    motivation = ""
+    scopes: tuple[str, ...] = ()
+    node_types: tuple[type, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".")
+            or (scope.endswith(".") and module.startswith(scope))
+            for scope in self.scopes
+        )
+
+    # walk hooks, all optional ----------------------------------------
+    def start_module(self, ctx: ModuleContext) -> None:
+        pass
+
+    def check(self, ctx: ModuleContext, node: ast.AST) -> None:
+        pass
+
+    def leave_function(
+        self, ctx: ModuleContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        pass
+
+    def finish_module(self, ctx: ModuleContext) -> None:
+        pass
+
+
+_SCOPE_FUNCS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def walk_module(ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+    """One iterative DFS over the module, dispatching to every rule."""
+    for rule in rules:
+        rule.start_module(ctx)
+    stack: list[tuple[bool, ast.AST]] = [(False, ctx.tree)]
+    while stack:
+        leaving, node = stack.pop()
+        if leaving:
+            if isinstance(node, _SCOPE_FUNCS):
+                for rule in rules:
+                    rule.leave_function(ctx, node)
+                ctx.function_stack.pop()
+                ctx.scope_parts.pop()
+            elif isinstance(node, ast.ClassDef):
+                ctx.class_stack.pop()
+                ctx.scope_parts.pop()
+            continue
+        if isinstance(node, _SCOPE_FUNCS):
+            ctx.function_stack.append(node)
+            ctx.scope_parts.append(node.name)
+            stack.append((True, node))
+        elif isinstance(node, ast.ClassDef):
+            ctx.class_stack.append(node.name)
+            ctx.scope_parts.append(node.name)
+            stack.append((True, node))
+        for rule in rules:
+            if isinstance(node, rule.node_types):
+                rule.check(ctx, node)
+        for child in reversed(list(ast.iter_child_nodes(node))):
+            stack.append((False, child))
+    for rule in rules:
+        rule.finish_module(ctx)
+
+
+# ----------------------------------------------------------------------
+# files and module names
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    Directories are walked recursively, skipping :data:`EXCLUDED_DIRS`;
+    explicitly-named files are always included (the escape hatch the
+    fixture tests use).  A path that exists but is neither raises
+    :class:`LintError`, as does a missing path.
+    """
+    out: list[str] = []
+    seen: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            norm = os.path.normpath(path)
+            if norm not in seen:
+                seen.add(norm)
+                out.append(norm)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in EXCLUDED_DIRS)
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        norm = os.path.normpath(os.path.join(root, name))
+                        if norm not in seen:
+                            seen.add(norm)
+                            out.append(norm)
+        else:
+            raise LintError(f"no such file or directory: {path!r}")
+    return sorted(out)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a file path.
+
+    Anchored on the last ``src`` component when present, else the last
+    ``repro`` component (so fixture trees that *mirror* the package
+    layout — ``tests/lint_fixtures/repro/core/x.py`` — scope exactly
+    like the real modules), else the relative path itself.
+    """
+    parts = list(os.path.normpath(path).split(os.sep))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchor = 0
+    for i, part in enumerate(parts):
+        if part == "src":
+            anchor = i + 1
+        elif part == "repro" and anchor == 0:
+            anchor = i
+    parts = [p for p in parts[anchor:] if p not in ("", ".", "..")]
+    return ".".join(parts)
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def fingerprint(finding: Finding, line_text: str, occurrence: int) -> str:
+    """Location-independent identity of a finding, for the baseline.
+
+    Line *text* rather than line *number*: edits elsewhere in the file
+    must not invalidate grandfathered entries.  ``occurrence``
+    disambiguates identical findings (same rule, symbol and source
+    text) within one module, in source order.
+    """
+    payload = "|".join(
+        (finding.rule, finding.module, finding.symbol, line_text, str(occurrence))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def assign_fingerprints(
+    findings: Sequence[Finding], line_text_for: dict[tuple[str, int], str]
+) -> list[str]:
+    """Fingerprints aligned with ``findings`` (occurrence-indexed)."""
+    counts: dict[tuple[str, str, str, str], int] = {}
+    out: list[str] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        text = line_text_for.get((finding.path, finding.line), "")
+        group = (finding.rule, finding.module, finding.symbol, text)
+        occurrence = counts.get(group, 0)
+        counts[group] = occurrence + 1
+        out.append(fingerprint(finding, text, occurrence))
+    return out
+
+
+def load_baseline(path: str) -> frozenset[str]:
+    """The grandfathered fingerprints in a baseline file."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise LintError(f"baseline {path!r} is not a lint baseline file")
+    fps = data["fingerprints"]
+    if not isinstance(fps, list) or any(not isinstance(f, str) for f in fps):
+        raise LintError(f"baseline {path!r}: 'fingerprints' must be a string list")
+    return frozenset(fps)
+
+
+def baseline_document(fingerprints: Iterable[str]) -> dict[str, Any]:
+    return {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered lint findings. Regenerate with "
+            "'repro-ioschedule lint --write-baseline'; keep empty for src/repro."
+        ),
+        "fingerprints": sorted(set(fingerprints)),
+    }
+
+
+# ----------------------------------------------------------------------
+# the run
+# ----------------------------------------------------------------------
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a file set."""
+
+    findings: list[Finding] = field(default_factory=list)
+    fingerprints: list[str] = field(default_factory=list)
+    all_fingerprints: list[str] = field(default_factory=list)
+    baselined: int = 0
+    suppressed: int = 0
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def rule_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "tool": "repro.analysis.lint",
+            "findings": [
+                finding.to_dict(fingerprint=fp)
+                for finding, fp in zip(self.findings, self.fingerprints)
+            ],
+            "summary": {
+                "files": self.files,
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "rules": self.rule_counts(),
+            },
+        }
+
+    def format_human(self) -> str:
+        lines = [finding.format_human() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding{'s' if len(self.findings) != 1 else ''} "
+            f"({self.suppressed} suppressed, {self.baselined} baselined) "
+            f"in {self.files} file{'s' if self.files != 1 else ''}"
+        )
+        return "\n".join(lines)
+
+
+def _lint_one_file(
+    path: str, rules: Sequence[Rule], known_rules: frozenset[str]
+) -> ModuleContext:
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    module = module_name_for(path)
+    display = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        tree = ast.Module(body=[], type_ignores=[])
+        ctx = ModuleContext(
+            path=display,
+            module=module,
+            source=source,
+            tree=tree,
+            pragmas=(),
+            known_rules=known_rules,
+        )
+        line = getattr(exc, "lineno", None) or 1
+        ctx.add(PARSE_RULE, line, f"file does not parse: {exc}", symbol="")
+        return ctx
+    pragmas, malformed = extract_pragmas(source)
+    ctx = ModuleContext(
+        path=display,
+        module=module,
+        source=source,
+        tree=tree,
+        pragmas=pragmas,
+        known_rules=known_rules,
+    )
+    for line, message in malformed:
+        ctx.add(PRAGMA_RULE, line, message, symbol="")
+    for pragma in pragmas:
+        unknown = [r for r in pragma.rules if r not in known_rules]
+        if not pragma.rules:
+            ctx.add(
+                PRAGMA_RULE,
+                pragma.line,
+                "pragma names no rule: '# repro: allow(<rule-id>) -- <why>'",
+                symbol="",
+            )
+        if unknown:
+            ctx.add(
+                PRAGMA_RULE,
+                pragma.line,
+                f"pragma names unknown rule(s) {unknown}; "
+                f"known: {sorted(known_rules)}",
+                symbol="",
+            )
+        if not pragma.justification:
+            ctx.add(
+                PRAGMA_RULE,
+                pragma.line,
+                "suppression requires a justification: "
+                "'# repro: allow(<rule-id>) -- <why>' (the finding is NOT "
+                "suppressed until one is given)",
+                symbol="",
+            )
+    active = [rule for rule in rules if rule.applies_to(module)]
+    walk_module(ctx, active)
+    return ctx
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: frozenset[str] | None = None,
+) -> LintReport:
+    """Lint ``paths`` and return the report (framework entry point)."""
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    known = frozenset({r.id for r in rules} | {PRAGMA_RULE, PARSE_RULE})
+    report = LintReport()
+    all_findings: list[Finding] = []
+    line_text_for: dict[tuple[str, int], str] = {}
+    for path in iter_python_files(paths):
+        ctx = _lint_one_file(path, rules, known)
+        report.files += 1
+        report.suppressed += len(ctx.suppressed)
+        for finding in ctx.findings:
+            line_text_for[(finding.path, finding.line)] = ctx.line_text(finding.line)
+        all_findings.extend(ctx.findings)
+    all_findings.sort(key=Finding.sort_key)
+    fps = assign_fingerprints(all_findings, line_text_for)
+    report.all_fingerprints = list(fps)
+    baseline = baseline or frozenset()
+    for finding, fp in zip(all_findings, fps):
+        if fp in baseline:
+            report.baselined += 1
+        else:
+            report.findings.append(finding)
+            report.fingerprints.append(fp)
+    return report

@@ -46,7 +46,15 @@ wraps:
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Coroutine,
+    Protocol,
+    Sequence,
+    TypeVar,
+    runtime_checkable,
+)
 
 from ..datasets.store import ResultCache
 from .errors import ProtocolError, TransportError
@@ -55,8 +63,12 @@ from .outcome import Outcome
 from .requests import BatchRequest, Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
     from ..service.client import ServiceClient
     from ..service.pool import WorkerPool
+
+_T = TypeVar("_T")
+_B = TypeVar("_B", bound="_CachingBackend")
 
 __all__ = [
     "Backend",
@@ -65,7 +77,7 @@ __all__ = [
     "RemoteBackend",
 ]
 
-def _run_sync(coro):
+def _run_sync(coro: Coroutine[Any, Any, _T]) -> _T:
     """Drive a coroutine to completion from synchronous code.
 
     ``asyncio.run`` when no loop is running; from inside a running loop
@@ -93,7 +105,7 @@ class Backend(Protocol):
     #: short provenance label stamped into every outcome (``local``/…).
     name: str
 
-    def submit(self, request) -> Outcome:
+    def submit(self, request: Request | BatchRequest) -> Outcome:
         """Execute one request and return its outcome."""
         ...
 
@@ -122,7 +134,12 @@ class _CachingBackend:
     #: depends on cache state.
     supports_batch = False
 
-    def __init__(self, cache: ResultCache | None = None, *, registry=None):
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.cache = cache
         if registry is None:
             from ..obs.metrics import get_registry
@@ -135,7 +152,7 @@ class _CachingBackend:
         if cache is not None and getattr(cache, "_hit_counter", None) is None:
             cache.bind_registry(registry)
 
-    def submit(self, request) -> Outcome:
+    def submit(self, request: Request | BatchRequest) -> Outcome:
         return self.run([request])[0]
 
     def run(self, requests: Sequence[Any]) -> list[Outcome]:
@@ -179,7 +196,7 @@ class _CachingBackend:
     def close(self) -> None:  # nothing held by default
         pass
 
-    def __enter__(self):
+    def __enter__(self: _B) -> _B:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -209,8 +226,8 @@ class LocalBackend(_CachingBackend):
         cache: ResultCache | None = None,
         *,
         seed_rng: bool = True,
-        registry=None,
-    ):
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__(cache, registry=registry)
         self.seed_rng = seed_rng
 
@@ -262,8 +279,8 @@ class PoolBackend(_CachingBackend):
         pool: "WorkerPool | None" = None,
         shm_transport: bool = True,
         shm_min_nodes: int | None = None,
-        registry=None,
-    ):
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__(cache, registry=registry)
         self._owns_pool = pool is None
         if pool is None:
@@ -329,8 +346,8 @@ class RemoteBackend(_CachingBackend):
         cache: ResultCache | None = None,
         timeout: float = 120.0,
         wire: str = "auto",
-        registry=None,
-    ):
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__(cache, registry=registry)
         if client is None:
             from ..service.client import ServiceClient

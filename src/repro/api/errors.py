@@ -97,7 +97,7 @@ class ApiError(Exception):
         the CLI exit code the failure maps to (see module docstring).
     """
 
-    def __init__(self, code: str, message: str, status: int | None = None):
+    def __init__(self, code: str, message: str, status: int | None = None) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
@@ -118,7 +118,7 @@ class ProtocolError(ApiError, ValueError):
     the base invariant rather than an override that could contradict it.
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         assert HTTP_STATUS.get(code) in CLIENT_FAULT_STATUSES, code
         super().__init__(code, message)
 
@@ -130,7 +130,7 @@ class BackendError(ApiError):
 class TransportError(BackendError):
     """The backend could not be reached at all (connection-level failure)."""
 
-    def __init__(self, message: str):
+    def __init__(self, message: str) -> None:
         super().__init__("transport", message, status=0)
 
 

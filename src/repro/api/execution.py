@@ -63,7 +63,7 @@ __all__ = [
 UNSOLVABLE_ERRORS = (InfeasibleSchedule, InvalidTraversal, ValueError, KeyError)
 
 
-def build_tree(parents, weights):
+def build_tree(parents: Any, weights: Any) -> TaskTree | ArrayTree:
     """The tree object a request executes on.
 
     Large requests go straight to :class:`~repro.core.arraytree.ArrayTree`
@@ -88,7 +88,9 @@ def build_tree(parents, weights):
     return TaskTree(parents, weights)
 
 
-def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
+def run_solve(
+    request: SolveRequest, *, tree: TaskTree | ArrayTree | None = None
+) -> dict[str, Any]:
     """Execute a ``solve`` request; mirrors ``repro-ioschedule solve``."""
     from ..experiments.registry import get_algorithm
 
@@ -117,7 +119,9 @@ def run_solve(request: SolveRequest, *, tree=None) -> dict[str, Any]:
     return result
 
 
-def run_paging(request: PagingRequest, *, tree=None) -> dict[str, Any]:
+def run_paging(
+    request: PagingRequest, *, tree: TaskTree | ArrayTree | None = None
+) -> dict[str, Any]:
     """Execute a ``paging`` request; mirrors ``repro-ioschedule paging``."""
     from ..experiments.registry import get_algorithm
     from ..io import HDD, estimate_time, paged_io
@@ -154,7 +158,9 @@ def run_paging(request: PagingRequest, *, tree=None) -> dict[str, Any]:
     }
 
 
-def run_exact(request: ExactRequest, *, tree=None) -> dict[str, Any]:
+def run_exact(
+    request: ExactRequest, *, tree: TaskTree | ArrayTree | None = None
+) -> dict[str, Any]:
     """Execute an ``exact`` request; mirrors ``repro-ioschedule exact``."""
     from ..algorithms.exact import exact_min_io
     from ..experiments.registry import PAPER_ALGORITHMS, get_algorithm
@@ -192,7 +198,10 @@ _RUNNERS = {
 
 
 def execute_request(
-    request: Request, *, seed_rng: bool = True, tree=None
+    request: Request,
+    *,
+    seed_rng: bool = True,
+    tree: TaskTree | ArrayTree | None = None,
 ) -> dict[str, Any]:
     """Run one validated request and wrap the outcome in an envelope.
 

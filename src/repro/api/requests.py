@@ -107,7 +107,18 @@ class CanonicalRequest:
     :func:`~repro.datasets.store.cache_key_buffers` and caches the
     digest on the instance, so repeated lookups reuse one
     canonicalisation.
+
+    **Field discipline** (machine-checked by the ``cache-key-discipline``
+    lint rule): every dataclass field either feeds the key through
+    :meth:`key_params`/:meth:`key_buffers`, or is named in the class's
+    ``key_excluded`` frozenset — the explicit record that the field is
+    delivery policy or a performance knob that provably does not change
+    the result.
     """
+
+    #: fields deliberately outside the content address; subclasses
+    #: override with their own set.
+    key_excluded: frozenset[str] = frozenset()
 
     def key_params(self) -> dict[str, Any]:
         """The scalar parameters that determine this request's output."""
@@ -249,6 +260,9 @@ class SolveRequest(CanonicalRequest):
     trace: str | None = None
 
     kind = "solve"
+    #: ``timeout``/``trace`` are delivery knobs; ``engine`` is a
+    #: performance knob with byte-identical results (cross-validated).
+    key_excluded = frozenset({"timeout", "engine", "trace"})
 
     def to_payload(self) -> dict[str, Any]:
         payload = {
@@ -295,6 +309,7 @@ class PagingRequest(CanonicalRequest):
     trace: str | None = None
 
     kind = "paging"
+    key_excluded = frozenset({"timeout", "engine", "trace"})
 
     def to_payload(self) -> dict[str, Any]:
         payload = {
@@ -340,6 +355,7 @@ class ExactRequest(CanonicalRequest):
     trace: str | None = None
 
     kind = "exact"
+    key_excluded = frozenset({"timeout", "engine", "trace"})
 
     def to_payload(self) -> dict[str, Any]:
         payload = {
@@ -396,6 +412,9 @@ class BatchRequest(CanonicalRequest):
     forest: bool = True
 
     kind = "batch"
+    #: both are performance knobs: the cross-validation harnesses pin
+    #: byte-identical results across engines and the forest path.
+    key_excluded = frozenset({"engine", "forest"})
 
     def __post_init__(self) -> None:
         if self.memory is None and self.bound not in MEMORY_POLICIES:
@@ -451,7 +470,7 @@ Request = SolveRequest | PagingRequest | ExactRequest
 _KINDS = ("solve", "paging", "exact")
 
 
-def parse_request(obj: Any, *, trusted_tree=None) -> Request:
+def parse_request(obj: Any, *, trusted_tree: tuple[Any, Any] | None = None) -> Request:
     """Validate a decoded JSON body into a frozen request object.
 
     ``trusted_tree`` — a pre-validated ``(parents, weights)`` column

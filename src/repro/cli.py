@@ -507,6 +507,12 @@ def _cmd_dash(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from .datasets.synth import synth_instance
 
@@ -745,6 +751,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh every N seconds instead of printing once",
     )
     p.set_defaults(func=_cmd_dash)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST invariant checker: the repo's hand-audited rules as a "
+             "gated lint pass (0 clean, 1 findings, 2 bad usage)",
+    )
+    from .analysis.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("demo", help="quick end-to-end demonstration")
     p.set_defaults(func=_cmd_demo)

@@ -133,6 +133,11 @@ class FigureShard(BatchRequest):
     index: int = 0  # position within the figure (merge order)
     seed: int = 0  # deterministic per-shard seed (derived from the key)
 
+    #: ``index`` is merge-order book-keeping (identical content at two
+    #: positions is the same result); ``seed`` is *derived from* the key,
+    #: so hashing it in would be circular.
+    key_excluded = frozenset({"index", "seed"})
+
     def key_params(self) -> dict[str, Any]:
         params = {
             "kind": "figure-shard",

@@ -1,0 +1,19 @@
+"""Fixture: a request dataclass with an unkeyed field and an excluded typo."""
+
+from dataclasses import dataclass
+
+
+class CanonicalRequest:
+    """Stand-in base; the rule matches on the base *name*."""
+
+
+@dataclass(frozen=True)
+class ShardRequest(CanonicalRequest):
+    tree_id: str
+    memory: int
+    retries: int  # neither keyed nor excluded: the violation
+
+    key_excluded = frozenset({"retriez"})  # typo: names no declared field
+
+    def key_params(self):
+        return {"tree_id": self.tree_id, "memory": self.memory}

@@ -1,0 +1,27 @@
+"""Fixture: the clean twin — every field keyed (also via a helper) or excluded."""
+
+from dataclasses import dataclass
+
+
+class CanonicalRequest:
+    """Stand-in base; the rule matches on the base *name*."""
+
+
+@dataclass(frozen=True)
+class ShardRequest(CanonicalRequest):
+    tree_id: str
+    memory: int
+    retries: int
+
+    #: delivery policy, deliberately outside the content address
+    key_excluded = frozenset({"retries"})
+
+    def columns(self):
+        # ``tree_id`` is reached through this helper: the rule follows
+        # method indirection when computing the keyed set
+        return {"tree_id": self.tree_id}
+
+    def key_params(self):
+        params = self.columns()
+        params["memory"] = self.memory
+        return params

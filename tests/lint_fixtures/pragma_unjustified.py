@@ -1,0 +1,9 @@
+"""Fixture: a pragma without justification — suppresses nothing, and is
+itself reported under ``lint-pragma``."""
+
+
+def flaky(probe):
+    try:
+        return probe()
+    except Exception:  # repro: allow(no-swallowed-exceptions)
+        return None

@@ -1,0 +1,20 @@
+"""Fixture: direct and mutual recursion in a kernel-scoped module.
+
+The path mirrors the package layout (``repro/core/``) so the
+``no-recursion`` rule scopes this file exactly like a real kernel.
+"""
+
+
+def subtree_weight(node, children, weights):
+    total = weights[node]
+    for child in children[node]:
+        total += subtree_weight(child, children, weights)
+    return total
+
+
+def _even(n):
+    return True if n == 0 else _odd(n - 1)
+
+
+def _odd(n):
+    return False if n == 0 else _even(n - 1)

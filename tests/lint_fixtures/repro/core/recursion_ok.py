@@ -1,0 +1,19 @@
+"""Fixture: the clean twin of ``recursion_bad`` — explicit stacks only."""
+
+
+def subtree_weight(node, children, weights):
+    total = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        total += weights[current]
+        stack.extend(children[current])
+    return total
+
+
+def parity(n):
+    even = True
+    while n > 0:
+        even = not even
+        n -= 1
+    return even

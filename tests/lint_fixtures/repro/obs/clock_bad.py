@@ -1,0 +1,17 @@
+"""Fixture: wall-clock deltas in an obs-scoped module.
+
+One direct violation (``time.time()`` inside arithmetic) and one
+through a local variable (assigned, then used as an operand later).
+"""
+
+import time
+
+
+def scrape_age(started):
+    return time.time() - started
+
+
+def elapsed_ms(work):
+    t0 = time.time()
+    work()
+    return 1000.0 * t0

@@ -1,0 +1,14 @@
+"""Fixture: the clean twin — monotonic durations, wall clock as timestamp."""
+
+import time
+
+
+def elapsed(work):
+    t0 = time.monotonic()
+    work()
+    return time.monotonic() - t0
+
+
+def log_record(event):
+    # a plain timestamp value, no arithmetic: stays legal
+    return {"event": event, "ts": time.time()}

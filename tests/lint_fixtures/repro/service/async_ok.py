@@ -1,0 +1,14 @@
+"""Fixture: the clean twin — asyncio primitives and executor hand-offs."""
+
+import asyncio
+
+
+async def handle(loop, cache, key):
+    await asyncio.sleep(0.05)
+    # the bound method is handed over, not called: legal
+    return await loop.run_in_executor(None, cache.get, key)
+
+
+def sync_helper(cache, key):
+    # nearest enclosing function is sync (executor-bound helper): legal
+    return cache.get(key)

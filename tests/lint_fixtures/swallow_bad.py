@@ -1,0 +1,16 @@
+"""Fixture: broad handlers that hide failures (the Gauge bug class)."""
+
+
+def read_config(path, parser):
+    try:
+        return parser(path)
+    except Exception:
+        pass
+    return None
+
+
+def last_value(values):
+    try:
+        return values[-1]
+    except:  # noqa: E722 - the bare form is the point of the fixture
+        return None

@@ -1,0 +1,7 @@
+"""Fixture: an error code outside the ``api.errors`` taxonomy."""
+
+
+def reject(reason):
+    from repro.api.errors import ProtocolError
+
+    raise ProtocolError("bad_vibes", reason)

@@ -1,0 +1,7 @@
+"""Fixture: the clean twin — a code the taxonomy knows."""
+
+
+def reject(reason):
+    from repro.api.errors import ProtocolError
+
+    raise ProtocolError("bad_field", reason)
